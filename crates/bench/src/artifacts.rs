@@ -1,0 +1,152 @@
+//! Shared, lazily-built experiment artifacts: the calibrated FPU bank,
+//! per-benchmark golden runs and operand traces, and the error models.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use tei_core::{campaign::GoldenRun, dev, DaCalibration, DaModel, StatModel};
+use tei_fpu::{FpuBank, FpuTimingSpec};
+use tei_timing::VoltageReduction;
+use tei_workloads::{build, Benchmark, BenchmarkId, Scale};
+
+/// Data-memory size for benchmark simulations.
+pub const MEM: usize = 8 << 20;
+
+/// The two studied corners.
+pub const LEVELS: [VoltageReduction; 2] = [VoltageReduction::VR15, VoltageReduction::VR20];
+
+/// Lazily-built shared artifacts for the experiment harness.
+pub struct Artifacts {
+    scale: Scale,
+    bank: (FpuBank, FpuTimingSpec),
+    benches: Mutex<BTreeMap<BenchmarkId, Benchmark>>,
+    goldens: Mutex<BTreeMap<BenchmarkId, GoldenRun>>,
+    traces: Mutex<BTreeMap<BenchmarkId, dev::TraceSet>>,
+    ia: Mutex<BTreeMap<String, StatModel>>,
+    wa: Mutex<BTreeMap<(BenchmarkId, String), StatModel>>,
+    da_cal: Mutex<Option<DaCalibration>>,
+}
+
+impl Artifacts {
+    /// Build (generating the FPU bank eagerly — everything else lazily).
+    pub fn new(scale: Scale) -> Self {
+        eprintln!("[artifacts] generating calibrated FPU bank ...");
+        Artifacts {
+            scale,
+            bank: dev::default_bank(),
+            benches: Mutex::new(BTreeMap::new()),
+            goldens: Mutex::new(BTreeMap::new()),
+            traces: Mutex::new(BTreeMap::new()),
+            ia: Mutex::new(BTreeMap::new()),
+            wa: Mutex::new(BTreeMap::new()),
+            da_cal: Mutex::new(None),
+        }
+    }
+
+    /// Benchmark problem scale in use.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The calibrated FPU bank and timing spec.
+    pub fn bank(&self) -> (&FpuBank, &FpuTimingSpec) {
+        (&self.bank.0, &self.bank.1)
+    }
+
+    /// DTA sample budget per instruction type.
+    pub fn dta_samples(&self) -> usize {
+        dev::dta_samples()
+    }
+
+    /// A built benchmark (cached).
+    pub fn bench(&self, id: BenchmarkId) -> Benchmark {
+        self.benches
+            .lock()
+            .expect("benches lock")
+            .entry(id)
+            .or_insert_with(|| build(id, self.scale))
+            .clone()
+    }
+
+    /// The golden run of a benchmark (cached).
+    pub fn golden(&self, id: BenchmarkId) -> GoldenRun {
+        if let Some(g) = self.goldens.lock().expect("goldens lock").get(&id) {
+            return g.clone();
+        }
+        eprintln!("[artifacts] golden run of {id} ...");
+        let bench = self.bench(id);
+        let g = GoldenRun::capture(&bench, MEM, u64::MAX);
+        self.goldens
+            .lock()
+            .expect("goldens lock")
+            .insert(id, g.clone());
+        g
+    }
+
+    /// The operand trace of a benchmark (cached; capped at the DTA budget).
+    pub fn trace(&self, id: BenchmarkId) -> dev::TraceSet {
+        if let Some(t) = self.traces.lock().expect("traces lock").get(&id) {
+            return t.clone();
+        }
+        eprintln!("[artifacts] operand trace of {id} ...");
+        let bench = self.bench(id);
+        let t = dev::TraceSet::capture(&bench.program, MEM, u64::MAX, self.dta_samples());
+        self.traces
+            .lock()
+            .expect("traces lock")
+            .insert(id, t.clone());
+        t
+    }
+
+    /// The instruction-aware model at a corner (cached).
+    pub fn ia(&self, vr: VoltageReduction) -> StatModel {
+        let key = vr.label();
+        if let Some(m) = self.ia.lock().expect("ia lock").get(&key) {
+            return m.clone();
+        }
+        eprintln!("[artifacts] IA-model DTA at {key} ...");
+        let (bank, spec) = self.bank();
+        let m = StatModel::instruction_aware(bank, spec, vr, self.dta_samples(), 0x1A);
+        self.ia.lock().expect("ia lock").insert(key, m.clone());
+        m
+    }
+
+    /// The workload-aware model of a benchmark at a corner (cached).
+    pub fn wa(&self, id: BenchmarkId, vr: VoltageReduction) -> StatModel {
+        let key = (id, vr.label());
+        if let Some(m) = self.wa.lock().expect("wa lock").get(&key) {
+            return m.clone();
+        }
+        eprintln!("[artifacts] WA-model DTA for {id} at {} ...", vr.label());
+        let trace = self.trace(id);
+        let (bank, spec) = self.bank();
+        let m = StatModel::workload_aware(bank, spec, vr, &trace, self.dta_samples());
+        self.wa.lock().expect("wa lock").insert(key, m.clone());
+        m
+    }
+
+    /// The DA calibration over the pooled benchmark mix (cached):
+    /// the paper's Section IV.C.1 Monte-Carlo DTA.
+    pub fn da_calibration(&self) -> DaCalibration {
+        if let Some(c) = self.da_cal.lock().expect("da lock").as_ref() {
+            return c.clone();
+        }
+        eprintln!("[artifacts] DA-model calibration over the benchmark mix ...");
+        let mut pooled = dev::TraceSet::default();
+        // Pool a slice of every benchmark's trace.
+        let per_bench = (self.dta_samples() / BenchmarkId::all().len()).max(500);
+        for id in BenchmarkId::all() {
+            let bench = self.bench(id);
+            let t = dev::TraceSet::capture(&bench.program, MEM, u64::MAX, per_bench);
+            pooled.merge(&t);
+        }
+        let (bank, spec) = self.bank();
+        let cal = dev::calibrate_da(bank, spec, &pooled, &LEVELS, self.dta_samples());
+        *self.da_cal.lock().expect("da lock") = Some(cal.clone());
+        cal
+    }
+
+    /// The DA model at a corner, built from the pooled calibration.
+    pub fn da(&self, vr: VoltageReduction) -> DaModel {
+        DaModel::from_calibration(&self.da_calibration(), vr)
+    }
+}

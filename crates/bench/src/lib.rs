@@ -1,0 +1,14 @@
+//! # tei-bench
+//!
+//! The experiment harness: one function per table/figure of the paper's
+//! evaluation, regenerating the corresponding rows/series from the `tei`
+//! toolflow. The `figures` binary drives them from the command line and
+//! writes machine-readable JSON next to the pretty-printed tables.
+//!
+//! Experiment sizing honors `TEI_RUNS`, `TEI_DTA_SAMPLES`, and `TEI_FULL=1`
+//! (paper-scale); see EXPERIMENTS.md.
+
+pub mod artifacts;
+pub mod figures;
+
+pub use artifacts::Artifacts;

@@ -1,0 +1,364 @@
+//! Application evaluation phase: microarchitecture-aware injection
+//! campaigns (paper Section III.B and V).
+//!
+//! Each campaign cell runs the target benchmark once on the detailed
+//! out-of-order core (golden run, recording the cycle-stamped FP writeback
+//! timeline including wrong-path events) and once functionally (golden
+//! output). Every injection run then draws one FP writeback event from the
+//! timeline weighted by the model's per-instruction error probability;
+//! events on the wrong path classify as microarchitecturally masked, and
+//! architectural events are corrupted in a fast functional replay whose
+//! outcome is classified as Masked / SDC / Crash / Timeout against the
+//! golden output (Section IV.A), with the paper's 2× timeout criterion.
+
+use crate::models::InjectionModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tei_softfloat::FpOp;
+use tei_timing::VoltageReduction;
+use tei_uarch::{ExitReason, FuncCore, OooConfig, OooCore};
+use tei_workloads::Benchmark;
+
+/// Injection-run outcome categories (paper Section IV.A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Execution and output identical to the error-free run.
+    Masked,
+    /// Completed with different output, no observable indication.
+    Sdc,
+    /// Process/system crash or floating-point exception.
+    Crash,
+    /// Did not finish within 2× the error-free execution time.
+    Timeout,
+}
+
+impl Outcome {
+    /// All four categories, paper order.
+    pub fn all() -> [Outcome; 4] {
+        [Outcome::Masked, Outcome::Sdc, Outcome::Crash, Outcome::Timeout]
+    }
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Masked => "Masked",
+            Outcome::Sdc => "SDC",
+            Outcome::Crash => "Crash",
+            Outcome::Timeout => "Timeout",
+        }
+    }
+}
+
+/// Golden-run record shared by all injection runs of a benchmark.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    program: tei_isa::Program,
+    mem_bytes: usize,
+    /// Error-free output bytes.
+    pub output: Vec<u8>,
+    /// Error-free retired instruction count.
+    pub instructions: u64,
+    /// Error-free dynamic FP operation count.
+    pub fp_ops: u64,
+    /// Error-free detailed-core cycle count.
+    pub cycles: u64,
+    /// Committed arch FP indices per operation type.
+    pub arch_by_op: Vec<Vec<u64>>,
+    /// Wrong-path (squashed) FP writebacks per operation type.
+    pub squashed_by_op: Vec<u64>,
+    /// Detailed-core statistics of the golden run.
+    pub ooo_stats: tei_uarch::OooStats,
+}
+
+impl GoldenRun {
+    /// Execute the golden detailed + functional runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the error-free benchmark does not complete successfully or
+    /// the two cores disagree (which the co-simulation tests rule out).
+    pub fn capture(bench: &Benchmark, mem_bytes: usize, max_cycles: u64) -> Self {
+        let mut ooo = OooCore::with_memory(&bench.program, OooConfig::default(), mem_bytes);
+        let od = ooo.run(max_cycles);
+        assert!(
+            od.exit.is_success(),
+            "golden detailed run of {} failed: {:?}",
+            bench.id,
+            od.exit
+        );
+        let mut func = FuncCore::with_memory(&bench.program, mem_bytes);
+        let mut op_of: Vec<FpOp> = Vec::new();
+        let fr = func.run_with_hook(u64::MAX, &mut |ev| {
+            op_of.push(ev.op);
+            ev.result
+        });
+        assert!(fr.exit.is_success(), "golden functional run failed");
+        assert_eq!(func.output, ooo.output, "core disagreement in golden run");
+        let mut arch_by_op: Vec<Vec<u64>> = vec![Vec::new(); 12];
+        for (i, op) in op_of.iter().enumerate() {
+            arch_by_op[op.index()].push(i as u64);
+        }
+        let mut squashed_by_op = vec![0u64; 12];
+        for ev in &ooo.fp_timeline {
+            if ev.arch_index.is_none() {
+                squashed_by_op[ev.op.index()] += 1;
+            }
+        }
+        GoldenRun {
+            program: bench.program.clone(),
+            mem_bytes,
+            output: func.output,
+            instructions: fr.instructions,
+            fp_ops: fr.fp_ops,
+            cycles: ooo.stats.cycles,
+            arch_by_op,
+            squashed_by_op,
+            ooo_stats: ooo.stats.clone(),
+        }
+    }
+}
+
+/// Campaign sizing and determinism knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Injection runs (paper: 1068 for 3 % margin / 95 % confidence).
+    pub runs: usize,
+    /// Base RNG seed (each run derives its own).
+    pub seed: u64,
+    /// Timeout threshold as a multiple of the error-free instruction count.
+    pub timeout_factor: f64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            runs: crate::config::default_runs(),
+            seed: 0x7e1_c0de,
+            timeout_factor: 2.0,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// Outcome tally of one campaign cell.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeCounts {
+    /// Masked runs (total, including the microarchitectural subset).
+    pub masked: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Crashes.
+    pub crash: u64,
+    /// Timeouts.
+    pub timeout: u64,
+    /// Subset of `masked`: injection landed on a squashed (wrong-path)
+    /// instruction.
+    pub masked_wrong_path: u64,
+    /// Subset of `masked`: the model assigned zero error probability to
+    /// every executed instruction, so no error manifests at this corner.
+    pub masked_no_error: u64,
+}
+
+impl OutcomeCounts {
+    fn add(&mut self, o: Outcome) {
+        match o {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::Crash => self.crash += 1,
+            Outcome::Timeout => self.timeout += 1,
+        }
+    }
+
+    fn merge(&mut self, other: &OutcomeCounts) {
+        self.masked += other.masked;
+        self.sdc += other.sdc;
+        self.crash += other.crash;
+        self.timeout += other.timeout;
+        self.masked_wrong_path += other.masked_wrong_path;
+        self.masked_no_error += other.masked_no_error;
+    }
+
+    /// Total runs tallied.
+    pub fn total(&self) -> u64 {
+        self.masked + self.sdc + self.crash + self.timeout
+    }
+}
+
+/// Result of one campaign cell (benchmark × model × VR).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Model family label.
+    pub model: String,
+    /// Voltage-reduction level.
+    pub vr: VoltageReduction,
+    /// Outcome tally.
+    pub counts: OutcomeCounts,
+    /// The model's injected error ratio on this workload — the fraction of
+    /// dynamic FP instructions the model deems faulty (paper eq. 2 /
+    /// Figure 10).
+    pub error_ratio: f64,
+}
+
+impl CampaignResult {
+    /// Application Vulnerability Metric (paper eq. 4).
+    pub fn avm(&self) -> f64 {
+        let t = self.counts.total();
+        if t == 0 {
+            0.0
+        } else {
+            (self.counts.sdc + self.counts.crash + self.counts.timeout) as f64 / t as f64
+        }
+    }
+
+    /// Outcome fractions in `[Masked, SDC, Crash, Timeout]` order.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.counts.total().max(1) as f64;
+        [
+            self.counts.masked as f64 / t,
+            self.counts.sdc as f64 / t,
+            self.counts.crash as f64 / t,
+            self.counts.timeout as f64 / t,
+        ]
+    }
+}
+
+/// The model's expected error ratio over a golden run's FP instruction mix.
+pub fn model_error_ratio<M: InjectionModel + ?Sized>(model: &M, golden: &GoldenRun) -> f64 {
+    if golden.fp_ops == 0 {
+        return 0.0;
+    }
+    let mut expected = 0.0;
+    for op in FpOp::all() {
+        expected += model.error_ratio(op) * golden.arch_by_op[op.index()].len() as f64;
+    }
+    expected / golden.fp_ops as f64
+}
+
+/// Run one injection experiment; returns the outcome.
+fn one_run<M: InjectionModel + Sync + ?Sized>(
+    golden: &GoldenRun,
+    model: &M,
+    timeout_steps: u64,
+    seed: u64,
+) -> (Outcome, bool, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Event weights per op: architectural + wrong-path writebacks, each
+    // weighted by the model's per-instruction error probability.
+    let mut weights = [0f64; 12];
+    let mut total = 0.0;
+    for op in FpOp::all() {
+        let i = op.index();
+        let events = golden.arch_by_op[i].len() as f64 + golden.squashed_by_op[i] as f64;
+        weights[i] = model.error_ratio(op) * events;
+        total += weights[i];
+    }
+    if total <= 0.0 {
+        // The model predicts no errors anywhere in this execution.
+        return (Outcome::Masked, false, true);
+    }
+    // Draw the target operation type.
+    let mut draw = rng.gen_range(0.0..total);
+    let mut op_idx = 11;
+    for (i, &w) in weights.iter().enumerate() {
+        if draw < w {
+            op_idx = i;
+            break;
+        }
+        draw -= w;
+    }
+    let op = FpOp::all()[op_idx];
+    let arch_count = golden.arch_by_op[op_idx].len() as u64;
+    let squashed = golden.squashed_by_op[op_idx];
+    // Wrong-path hit → microarchitectural masking.
+    if rng.gen_range(0..arch_count + squashed) >= arch_count {
+        return (Outcome::Masked, true, false);
+    }
+    let target = golden.arch_by_op[op_idx][rng.gen_range(0..arch_count as usize)];
+    let mask = model.sample_mask(op, &mut rng);
+    debug_assert_ne!(mask, 0, "models must produce non-empty masks");
+
+    // Corrupted functional replay.
+    let mut core = FuncCore::with_memory(&golden.program, golden.mem_bytes);
+    let mut injected = false;
+    let r = core.run_with_hook(timeout_steps, &mut |ev| {
+        if ev.index == target {
+            injected = true;
+            ev.result ^ mask
+        } else {
+            ev.result
+        }
+    });
+    let outcome = match r.exit {
+        ExitReason::Trapped(_) => Outcome::Crash,
+        ExitReason::Limit => Outcome::Timeout,
+        ExitReason::Exited(c) if c != 0 => Outcome::Crash,
+        ExitReason::Halted | ExitReason::Exited(_) => {
+            if core.output == golden.output {
+                Outcome::Masked
+            } else {
+                Outcome::Sdc
+            }
+        }
+    };
+    let _ = injected;
+    (outcome, false, false)
+}
+
+/// Run a full campaign cell in parallel.
+pub fn run_campaign<M: InjectionModel + Sync + ?Sized>(
+    benchmark_name: &str,
+    golden: &GoldenRun,
+    model: &M,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    let timeout_steps = (golden.instructions as f64 * cfg.timeout_factor).ceil() as u64;
+    // Decorrelate cells that share a base seed (e.g. the same model family
+    // at different corners).
+    let vr_salt = (model.vr().fraction() * 1e6) as u64;
+    let runs = cfg.runs;
+    let threads = cfg.threads.clamp(1, runs.max(1));
+    let chunk = runs.div_ceil(threads);
+    let mut counts = OutcomeCounts::default();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(runs);
+            if lo >= hi {
+                break;
+            }
+            let seed = cfg.seed ^ vr_salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            handles.push(scope.spawn(move |_| {
+                let mut local = OutcomeCounts::default();
+                for r in lo..hi {
+                    let (o, wrong_path, no_error) =
+                        one_run(golden, model, timeout_steps, seed ^ ((r as u64) << 20));
+                    local.add(o);
+                    if wrong_path {
+                        local.masked_wrong_path += 1;
+                    }
+                    if no_error {
+                        local.masked_no_error += 1;
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            counts.merge(&h.join().expect("campaign worker panicked"));
+        }
+    })
+    .expect("campaign scope");
+    CampaignResult {
+        benchmark: benchmark_name.to_string(),
+        model: model.name().to_string(),
+        vr: model.vr(),
+        counts,
+        error_ratio: model_error_ratio(model, golden),
+    }
+}

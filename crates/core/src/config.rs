@@ -1,0 +1,39 @@
+//! Environment-tunable experiment sizing.
+
+/// Read a `usize` from the environment with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True when `TEI_FULL=1` selects paper-scale experiment sizes.
+pub fn full_scale() -> bool {
+    std::env::var("TEI_FULL").is_ok_and(|v| v == "1")
+}
+
+/// Injection runs per (benchmark, model, VR) cell. Paper: 1068 (3 % margin,
+/// 95 % confidence); default scaled down for laptop runtimes. Override with
+/// `TEI_RUNS`.
+pub fn default_runs() -> usize {
+    let fallback = if full_scale() { 1068 } else { 120 };
+    env_usize("TEI_RUNS", fallback)
+}
+
+/// Operand pairs per instruction type for model development DTA. Paper: 1 M
+/// per type; default scaled down. Override with `TEI_DTA_SAMPLES`.
+pub fn default_dta_samples() -> usize {
+    let fallback = if full_scale() { 1_000_000 } else { 20_000 };
+    env_usize("TEI_DTA_SAMPLES", fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        assert_eq!(env_usize("TEI_SURELY_UNSET_VAR_12345", 7), 7);
+    }
+}

@@ -1,0 +1,344 @@
+//! Model development phase: dynamic timing analysis campaigns over the
+//! gate-level FPU units, producing the per-bit error statistics and bitmask
+//! libraries the injection models are built from (paper Section III.A).
+
+use crate::config;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use tei_fpu::{FpuBank, FpuTimingSpec, FpuUnit};
+use tei_isa::Program;
+use tei_softfloat::{FpOp, FpOpKind};
+use tei_timing::{ArrivalSim, TwoVectorResult, VoltageReduction};
+use tei_uarch::FuncCore;
+
+/// Per-operation operand trace: consecutive `(a, b)` raw-bit pairs in
+/// execution order, as seen by that operation's functional unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSet {
+    per_op: Vec<Vec<(u64, u64)>>,
+}
+
+impl Default for TraceSet {
+    fn default() -> Self {
+        TraceSet {
+            per_op: vec![Vec::new(); 12],
+        }
+    }
+}
+
+impl TraceSet {
+    /// Extract the FP operand trace of a program by instrumented functional
+    /// execution, keeping at most `cap` pairs per operation type.
+    pub fn capture(program: &Program, mem_bytes: usize, max_steps: u64, cap: usize) -> Self {
+        let mut per_op: Vec<Vec<(u64, u64)>> = vec![Vec::new(); 12];
+        let mut core = FuncCore::with_memory(program, mem_bytes);
+        // Reservoir-free capture: keep the first `cap` pairs (the paper
+        // randomly extracts 1 M; execution order preserves the consecutive
+        // same-unit previous-state semantics DTA needs).
+        core.run_with_hook(max_steps, &mut |ev| {
+            let slot = &mut per_op[ev.op.index()];
+            if slot.len() < cap {
+                slot.push((ev.a, ev.b));
+            }
+            ev.result
+        });
+        TraceSet { per_op }
+    }
+
+    /// The trace of one operation type.
+    pub fn of(&self, op: FpOp) -> &[(u64, u64)] {
+        &self.per_op[op.index()]
+    }
+
+    /// Total captured pairs.
+    pub fn len(&self) -> usize {
+        self.per_op.iter().map(Vec::len).sum()
+    }
+
+    /// True if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge another trace set into this one (same caps not enforced).
+    pub fn merge(&mut self, other: &TraceSet) {
+        assert_eq!(self.per_op.len(), other.per_op.len(), "trace arity");
+        for (dst, src) in self.per_op.iter_mut().zip(&other.per_op) {
+            dst.extend_from_slice(src);
+        }
+    }
+}
+
+/// Uniform random operand pairs for one operation type (the IA model's
+/// characterization kernels with randomized inputs).
+pub fn random_operand_pairs(op: FpOp, count: usize, seed: u64) -> Vec<(u64, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (op.index() as u64) << 32);
+    let fmt = op.format();
+    let mask = if fmt.width() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << fmt.width()) - 1
+    };
+    let gen = |rng: &mut StdRng| -> u64 {
+        match op.kind {
+            FpOpKind::ItoF => {
+                let bits = rng.gen_range(1..=op.precision.int_bits() as u64);
+                let raw = rng.gen::<u64>() >> (64 - bits);
+                if rng.gen() {
+                    (raw as i64).wrapping_neg() as u64
+                        & if op.precision.int_bits() == 32 {
+                            0xffff_ffff
+                        } else {
+                            u64::MAX
+                        }
+                } else {
+                    raw
+                }
+            }
+            _ => rng.gen::<u64>() & mask,
+        }
+    };
+    (0..count)
+        .map(|_| {
+            let a = gen(&mut rng);
+            let b = if op.is_binary() { gen(&mut rng) } else { 0 };
+            (a, b)
+        })
+        .collect()
+}
+
+/// DTA-derived error statistics of one operation type at one VR level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpErrorStats {
+    /// The characterized operation.
+    pub op: FpOp,
+    /// Voltage-reduction level.
+    pub vr: VoltageReduction,
+    /// Operand pairs analyzed.
+    pub samples: u64,
+    /// Pairs whose output had at least one corrupted bit.
+    pub faulty: u64,
+    /// Per-output-bit error counts (LSB first) — the BER numerators.
+    pub bit_errors: Vec<u64>,
+    /// Library of observed error bitmasks (with multiplicity, capped).
+    pub masks: Vec<u64>,
+    /// Histogram of flipped-bit counts among faulty outputs (Figure 5).
+    pub flip_hist: BTreeMap<usize, u64>,
+}
+
+impl OpErrorStats {
+    /// Instruction-level error ratio (paper eq. 2 restricted to this type).
+    pub fn error_ratio(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.faulty as f64 / self.samples as f64
+        }
+    }
+
+    /// Per-bit error ratios (BER), LSB first.
+    pub fn ber(&self) -> Vec<f64> {
+        self.bit_errors
+            .iter()
+            .map(|&c| {
+                if self.samples == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.samples as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Maximum retained masks per (op, VR) — enough for faithful empirical
+/// sampling without unbounded memory.
+const MASK_CAP: usize = 50_000;
+
+/// Run a DTA campaign for one unit over an operand-pair stream, producing
+/// stats for every requested VR level in one pass (uniform derating lets a
+/// single settle computation be re-thresholded per corner).
+///
+/// The first pair only establishes circuit state. At the nominal corner the
+/// fabricated design meets timing by construction, so settle times beyond
+/// the clock (γ-calibration tail noise) are clamped to the clock period:
+/// they fail under any voltage reduction but never at nominal.
+pub fn dta_campaign(
+    unit: &FpuUnit,
+    pairs: &[(u64, u64)],
+    clk: f64,
+    levels: &[VoltageReduction],
+) -> Vec<OpErrorStats> {
+    let dta = unit.dta_netlist();
+    let outputs = unit.result_port().to_vec();
+    let width = outputs.len();
+    let mut stats: Vec<OpErrorStats> = levels
+        .iter()
+        .map(|&vr| OpErrorStats {
+            op: unit.op(),
+            vr,
+            samples: 0,
+            faulty: 0,
+            bit_errors: vec![0; width],
+            masks: Vec::new(),
+            flip_hist: BTreeMap::new(),
+        })
+        .collect();
+    if pairs.len() < 2 {
+        return stats;
+    }
+    let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
+    let mut buf = TwoVectorResult::default();
+    let mut prev = unit.encode_inputs(pairs[0].0, pairs[0].1);
+    for &(a, b) in &pairs[1..] {
+        let cur = unit.encode_inputs(a, b);
+        ArrivalSim::run_into(&dta, &prev, &cur, &mut buf);
+        for (s, &k) in stats.iter_mut().zip(&factors) {
+            s.samples += 1;
+            let mut mask = 0u64;
+            for (bit, &net) in outputs.iter().enumerate() {
+                let settle = buf.settle[net.index()].min(clk); // nominal clamp
+                if settle * k > clk {
+                    mask |= 1 << bit;
+                    s.bit_errors[bit] += 1;
+                }
+            }
+            if mask != 0 {
+                s.faulty += 1;
+                *s.flip_hist.entry(mask.count_ones() as usize).or_default() += 1;
+                if s.masks.len() < MASK_CAP {
+                    s.masks.push(mask);
+                }
+            }
+        }
+        prev = cur;
+    }
+    stats
+}
+
+/// DTA over a *sampled subset* of a trace: each sampled index `i ≥ 1`
+/// is analyzed as the transition `trace[i-1] → trace[i]`, preserving the
+/// true previous circuit state of every sampled dynamic instruction (the
+/// paper's "randomly extracted" characterization).
+pub fn dta_campaign_sampled(
+    unit: &FpuUnit,
+    trace: &[(u64, u64)],
+    indices: &[usize],
+    clk: f64,
+    levels: &[VoltageReduction],
+) -> Vec<OpErrorStats> {
+    let dta = unit.dta_netlist();
+    let outputs = unit.result_port().to_vec();
+    let width = outputs.len();
+    let mut stats: Vec<OpErrorStats> = levels
+        .iter()
+        .map(|&vr| OpErrorStats {
+            op: unit.op(),
+            vr,
+            samples: 0,
+            faulty: 0,
+            bit_errors: vec![0; width],
+            masks: Vec::new(),
+            flip_hist: BTreeMap::new(),
+        })
+        .collect();
+    let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
+    let mut buf = TwoVectorResult::default();
+    for &i in indices {
+        assert!(i >= 1 && i < trace.len(), "sample index out of range");
+        let prev = unit.encode_inputs(trace[i - 1].0, trace[i - 1].1);
+        let cur = unit.encode_inputs(trace[i].0, trace[i].1);
+        ArrivalSim::run_into(&dta, &prev, &cur, &mut buf);
+        for (s, &k) in stats.iter_mut().zip(&factors) {
+            s.samples += 1;
+            let mut mask = 0u64;
+            for (bit, &net) in outputs.iter().enumerate() {
+                let settle = buf.settle[net.index()].min(clk);
+                if settle * k > clk {
+                    mask |= 1 << bit;
+                    s.bit_errors[bit] += 1;
+                }
+            }
+            if mask != 0 {
+                s.faulty += 1;
+                *s.flip_hist.entry(mask.count_ones() as usize).or_default() += 1;
+                if s.masks.len() < MASK_CAP {
+                    s.masks.push(mask);
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Average absolute BER estimation error (paper eq. 3) between a
+/// full-trace reference and a sampled estimate, over bits where the
+/// reference is non-zero.
+pub fn average_absolute_error(full: &[f64], sim: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&f, &s) in full.iter().zip(sim) {
+        if f > 0.0 {
+            sum += ((f - s) / f).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// The fixed error ratios of the data-agnostic model, measured by DTA over
+/// a pooled benchmark-mix instruction stream (paper Section IV.C.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DaCalibration {
+    /// `(VR level, fixed ER)` pairs.
+    pub er: Vec<(VoltageReduction, f64)>,
+}
+
+/// Calibrate the DA model's fixed ER from pooled traces: the average
+/// instruction error ratio over the mixed stream.
+pub fn calibrate_da(
+    bank: &FpuBank,
+    spec: &FpuTimingSpec,
+    pooled: &TraceSet,
+    levels: &[VoltageReduction],
+    per_op_cap: usize,
+) -> DaCalibration {
+    let mut totals = vec![(0u64, 0u64); levels.len()]; // (faulty, samples)
+    for op in FpOp::all() {
+        let trace = pooled.of(op);
+        if trace.len() < 2 {
+            continue;
+        }
+        let take = trace.len().min(per_op_cap);
+        let stats = dta_campaign(bank.unit(op), &trace[..take], spec.clk, levels);
+        for (t, s) in totals.iter_mut().zip(&stats) {
+            t.0 += s.faulty;
+            t.1 += s.samples;
+        }
+    }
+    DaCalibration {
+        er: levels
+            .iter()
+            .zip(&totals)
+            .map(|(&vr, &(f, n))| (vr, if n == 0 { 0.0 } else { f as f64 / n as f64 }))
+            .collect(),
+    }
+}
+
+/// Generate (or regenerate) the calibrated FPU bank used across the
+/// toolflow, honoring `TEI_DTA_SAMPLES` for campaign sizing decisions.
+pub fn default_bank() -> (FpuBank, FpuTimingSpec) {
+    let spec = FpuTimingSpec::paper_calibrated();
+    (FpuBank::generate(&spec), spec)
+}
+
+/// The default DTA sample budget (see [`config::default_dta_samples`]).
+pub fn dta_samples() -> usize {
+    config::default_dta_samples()
+}

@@ -1,0 +1,50 @@
+//! # tei-core
+//!
+//! The paper's primary contribution: the cross-layer timing error injection
+//! toolflow (Figure 2).
+//!
+//! * **Model development phase** ([`dev`]) — dynamic timing analysis
+//!   campaigns over the gate-level FPU units extract per-instruction,
+//!   per-bit error statistics and bitmask libraries.
+//! * **Error models** ([`models`]) — the data-agnostic (DA),
+//!   instruction-aware (IA), and workload-aware (WA) injection models of
+//!   Table I.
+//! * **Application evaluation phase** ([`campaign`]) — microarchitecture-
+//!   aware injection campaigns over the benchmark programs, classifying
+//!   every run as Masked / SDC / Crash / Timeout and computing the
+//!   Application Vulnerability Metric (AVM, eq. 4).
+//! * **Energy analysis** ([`power`]) — the calibrated power model and
+//!   AVM-guided operating-point selection of Section V.C.
+//! * **Statistics** ([`stats`]) — Leveugle sample sizing (the 1068 runs).
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use tei_core::{campaign, dev, models, models::InjectionModel};
+//! use tei_timing::VoltageReduction;
+//! use tei_workloads::{build, BenchmarkId, Scale};
+//!
+//! // Model development: generate the FPU bank and a workload-aware model.
+//! let (bank, spec) = dev::default_bank();
+//! let bench = build(BenchmarkId::Sobel, Scale::Small);
+//! let trace = dev::TraceSet::capture(&bench.program, 8 << 20, u64::MAX, 20_000);
+//! let wa = models::StatModel::workload_aware(
+//!     &bank, &spec, VoltageReduction::VR20, &trace, 20_000);
+//!
+//! // Application evaluation: run the injection campaign.
+//! let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX);
+//! let cfg = campaign::CampaignConfig::default();
+//! let result = campaign::run_campaign("sobel", &golden, &wa, &cfg);
+//! println!("AVM = {:.3}", result.avm());
+//! ```
+
+pub mod campaign;
+pub mod config;
+pub mod dev;
+pub mod models;
+pub mod power;
+pub mod stats;
+
+pub use campaign::{CampaignConfig, CampaignResult, GoldenRun, Outcome, OutcomeCounts};
+pub use dev::{DaCalibration, OpErrorStats, TraceSet};
+pub use models::{DaModel, InjectionModel, MaskSampling, ModelKind, StatModel};

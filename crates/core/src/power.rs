@@ -1,0 +1,123 @@
+//! Power/energy model and AVM-guided voltage selection (paper Section V.C).
+//!
+//! Substitutes the Voltus power measurements: normalized core power as a
+//! function of supply reduction, calibrated through the paper's anchor
+//! points (≈21 % savings at 10 % reduction, ≈56 % at 20 %), plus the
+//! energy accounting for the AVM-guided operating-point selection and a
+//! simple error-prevention (instruction clock-stretch) mitigation model.
+
+use serde::{Deserialize, Serialize};
+use tei_timing::VoltageReduction;
+
+/// Normalized power at a supply-reduction fraction `f` (0 = nominal):
+/// the quadratic `P(f) = 1 − 1.4 f − 7 f²` fitted through the paper's
+/// anchor points `P(0) = 1`, `P(0.10) ≈ 0.79`, `P(0.20) = 0.44`.
+pub fn power_ratio_at(fraction: f64) -> f64 {
+    assert!(
+        (0.0..=0.3).contains(&fraction),
+        "reduction fraction out of the calibrated range"
+    );
+    1.0 - 1.4 * fraction - 7.0 * fraction * fraction
+}
+
+/// Normalized power at a VR level.
+pub fn power_ratio(vr: VoltageReduction) -> f64 {
+    power_ratio_at(vr.fraction())
+}
+
+/// Power savings (fraction of nominal) at a VR level.
+pub fn power_savings(vr: VoltageReduction) -> f64 {
+    1.0 - power_ratio(vr)
+}
+
+/// AVM-guided operating point: the deepest voltage reduction whose AVM
+/// does not exceed `threshold` (0 = strictly error-free operation).
+/// `avm_by_vr` must be sorted by increasing reduction and include the
+/// nominal point implicitly (AVM 0 by construction).
+pub fn select_operating_point(
+    avm_by_vr: &[(VoltageReduction, f64)],
+    threshold: f64,
+) -> VoltageReduction {
+    let mut best = VoltageReduction::Nominal;
+    for &(vr, avm) in avm_by_vr {
+        if avm <= threshold && vr.fraction() > best.fraction() {
+            best = vr;
+        }
+    }
+    best
+}
+
+/// Energy accounting for the clock-stretch error-prevention technique:
+/// running at `vr` while stretching the clock (one extra cycle) for the
+/// fraction `prone_fraction` of instructions that the error model marks
+/// as error-prone at this corner. Returns normalized energy relative to
+/// nominal-voltage execution of the same program
+/// (`E = P(vr) × (1 + prone_fraction)`, nominal = 1.0).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationEnergy {
+    /// Operating point.
+    pub vr: VoltageReduction,
+    /// Fraction of dynamic instructions stretched.
+    pub prone_fraction: f64,
+    /// Normalized energy (nominal, unprotected = 1.0).
+    pub energy: f64,
+}
+
+/// Evaluate the prevention technique at `vr`.
+pub fn mitigation_energy(vr: VoltageReduction, prone_fraction: f64) -> MitigationEnergy {
+    assert!((0.0..=1.0).contains(&prone_fraction), "invalid fraction");
+    MitigationEnergy {
+        vr,
+        prone_fraction,
+        energy: power_ratio(vr) * (1.0 + prone_fraction),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_paper() {
+        assert!((power_ratio_at(0.0) - 1.0).abs() < 1e-12);
+        let s10 = 1.0 - power_ratio_at(0.10);
+        assert!((s10 - 0.21).abs() < 0.001, "10% VR ≈ 21% savings, got {s10}");
+        let s20 = 1.0 - power_ratio_at(0.20);
+        assert!((s20 - 0.56).abs() < 0.001, "20% VR ≈ 56% savings, got {s20}");
+        // Monotone increasing savings.
+        assert!(power_savings(VoltageReduction::VR20) > power_savings(VoltageReduction::VR15));
+        assert!(power_savings(VoltageReduction::VR15) > 0.0);
+    }
+
+    #[test]
+    fn operating_point_selection() {
+        use VoltageReduction::*;
+        // k-means-like: error-free at both levels → deepest reduction.
+        let safe = [(VR15, 0.0), (VR20, 0.0)];
+        assert_eq!(select_operating_point(&safe, 0.0), VR20);
+        // Errors at VR20 only → VR15.
+        let mid = [(VR15, 0.0), (VR20, 0.3)];
+        assert_eq!(select_operating_point(&mid, 0.0), VR15);
+        // Errors everywhere → nominal.
+        let none = [(VR15, 0.5), (VR20, 0.9)];
+        assert_eq!(select_operating_point(&none, 0.0), Nominal);
+        // A tolerance threshold admits low-AVM points.
+        assert_eq!(select_operating_point(&mid, 0.35), VR20);
+    }
+
+    #[test]
+    fn mitigation_energy_tradeoff() {
+        // Stretching a tiny fraction at VR20 keeps most of the savings.
+        let m = mitigation_energy(VoltageReduction::VR20, 0.01);
+        assert!(m.energy < 0.5, "VR20 with 1% stretching stays cheap");
+        // Stretching everything erases the benefit.
+        let all = mitigation_energy(VoltageReduction::VR15, 1.0);
+        assert!(all.energy > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibrated range")]
+    fn out_of_range_fraction_rejected() {
+        power_ratio_at(0.5);
+    }
+}

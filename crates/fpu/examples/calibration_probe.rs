@@ -1,0 +1,65 @@
+//! Calibration probe: per-unit error ratios of the double-precision FPU
+//! datapaths under a synthetic workload mixture — the tool used to tune
+//! `FpuTimingSpec::paper_calibrated` (run with `--release`).
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tei_fpu::{FpuTimingSpec, FpuUnit};
+use tei_softfloat::{FpOp, FpOpKind};
+use tei_timing::{ArrivalSim, TwoVectorResult, VoltageReduction};
+
+fn main() {
+    let spec = FpuTimingSpec::paper_calibrated();
+    let k15 = VoltageReduction::VR15.derating_factor();
+    let k20 = VoltageReduction::VR20.derating_factor();
+    let clk = 4.5;
+    let mut rng = StdRng::seed_from_u64(1);
+    for op in FpOp::all().into_iter().take(6) {
+        let unit = FpuUnit::generate(op, &spec);
+        let dta = unit.dta_netlist();
+        let n = 3000;
+        // Workload-like mixture: mostly full-width values, some narrow.
+        let mk = |rng: &mut StdRng| -> u64 {
+            let widths = [0u32, 4, 13, 26, 52, 52, 52, 52];
+            let w = widths[rng.gen_range(0..widths.len())];
+            let s = (rng.gen::<bool>() as u64) << 63;
+            let e = rng.gen_range(950u64..1150) << 52;
+            let f = if w == 0 { 0 } else { ((rng.gen::<u64>() | (1<<63)) >> (64 - w)) << (52 - w) };
+            s | e | (f & ((1<<52)-1))
+        };
+        let is_i2f = op.kind == FpOpKind::ItoF;
+        let gen = |rng: &mut StdRng| if is_i2f { rng.gen::<u64>() } else { mk(rng) };
+        // Pair generator with occasional near-equal operands, as stencil and
+        // reduction kernels produce.
+        let pair = |rng: &mut StdRng| -> (u64, u64) {
+            let a = gen(rng);
+            let b = if !is_i2f && rng.gen_ratio(1, 8) {
+                // Near-equal magnitude, either sign: stencil differences and
+                // mixed-sign accumulations.
+                let sign = (rng.gen::<bool>() as u64) << 63;
+                (a ^ rng.gen_range(1u64..64)) ^ sign
+            } else {
+                mk(rng)
+            };
+            (a, b)
+        };
+        let (a0, b0) = pair(&mut rng);
+        let mut prev = unit.encode_inputs(a0, b0);
+        let mut buf = TwoVectorResult::default();
+        let (mut e0, mut e15, mut e20) = (0, 0, 0);
+        let mut smax = 0.0f64;
+        for _ in 0..n {
+            let (a, b) = pair(&mut rng);
+            let cur = unit.encode_inputs(a, b);
+            ArrivalSim::run_into(&dta, &prev, &cur, &mut buf);
+            let s = buf.max_settle(unit.result_port());
+            smax = smax.max(s);
+            if s > clk { e0 += 1; }
+            if s * k15 > clk { e15 += 1; }
+            if s * k20 > clk { e20 += 1; }
+            prev = cur;
+        }
+        println!("{:12} gamma {:.2} target {:.2} dynmax {:.2}  ER_nom {:.4} ER15 {:.4} ER20 {:.4}",
+            op.to_string(), unit.gamma(), spec.target(op), smax,
+            e0 as f64/n as f64, e15 as f64/n as f64, e20 as f64/n as f64);
+    }
+}

@@ -1,0 +1,117 @@
+//! Gate-level floating-point adder/subtracter datapath.
+//!
+//! Mirrors the six-stage organization of the paper's Figure 3: operand
+//! classification and pre-normalization, exponent compare and alignment
+//! (with sticky collection), mantissa add/subtract, leading-zero-count
+//! normalization, rounding, and packing with special-case selection.
+
+use crate::common::{
+    add_const, classify, priority_mux, round_pack_block, special_consts, sub_wide,
+};
+use tei_netlist::Netlist;
+use tei_softfloat::Format;
+
+/// Build an add (or, with `is_sub`, subtract) datapath into `nl`.
+///
+/// Creates input ports `{tag}/a`, `{tag}/b` and output port `{tag}/result`,
+/// all `fmt.width()` bits. Gates are attributed to stage blocks named
+/// `{tag}/s1-prenorm` … `{tag}/s6-pack`.
+pub fn build_addsub(nl: &mut Netlist, fmt: Format, is_sub: bool, tag: &str) {
+    let w = fmt.width() as usize;
+    let f = fmt.frac_bits as usize;
+    let a = nl.add_input_bus(&format!("{tag}/a"), w);
+    let b = nl.add_input_bus(&format!("{tag}/b"), w);
+
+    // Stage 1: classification / pre-normalization (paper: OCB + Pre-Normalize).
+    nl.begin_block(&format!("{tag}/s1-prenorm"));
+    let ca = classify(nl, &a, fmt);
+    let cb = classify(nl, &b, fmt);
+    let sb_eff = if is_sub { nl.not(cb.sign) } else { nl.buf(cb.sign) };
+    let eff_sub = nl.xor(ca.sign, sb_eff);
+
+    // Stage 2: magnitude compare and alignment shift.
+    nl.begin_block(&format!("{tag}/s2-align"));
+    // FTZ-flushed magnitude compare: (exp, gated frac) as one integer.
+    let mut mag_a = ca.sig[..f].to_vec();
+    mag_a.extend_from_slice(&ca.exp);
+    let mut mag_b = cb.sig[..f].to_vec();
+    mag_b.extend_from_slice(&cb.exp);
+    let b_gt_a = nl.ult(&mag_a, &mag_b);
+    let a_ge_b = nl.not(b_gt_a);
+
+    let sign_big = nl.mux(a_ge_b, sb_eff, ca.sign);
+    let sign_small = nl.mux(a_ge_b, ca.sign, sb_eff);
+    let exp_big = nl.mux_bus(a_ge_b, &cb.exp, &ca.exp);
+    let exp_small = nl.mux_bus(a_ge_b, &ca.exp, &cb.exp);
+    let sig_big = nl.mux_bus(a_ge_b, &cb.sig, &ca.sig);
+    let sig_small = nl.mux_bus(a_ge_b, &ca.sig, &cb.sig);
+    let _ = sign_small;
+
+    let ediff = sub_wide(nl, &exp_big, &exp_small); // non-negative
+    let zero = nl.const_bit(false);
+    let mut small_grs = vec![zero; 3];
+    small_grs.extend_from_slice(&sig_small); // f+4 bits
+    let (mut aligned, sticky) = nl.barrel_shift_right_sticky(&small_grs, &ediff[..6], zero);
+    // Shift amounts ≥ 64 flush the whole operand into the sticky bit.
+    let far = nl.or_reduce(&ediff[6..crate::common::EXPW - 1]);
+    let all_sticky = nl.or_reduce(&small_grs);
+    let far_sticky = nl.and(far, all_sticky);
+    let zero_bus = vec![zero; aligned.len()];
+    aligned = nl.mux_bus(far, &aligned, &zero_bus);
+    let sticky = nl.or(sticky, far_sticky);
+    aligned[0] = nl.or(aligned[0], sticky);
+
+    // Stage 3: mantissa addition / subtraction.
+    nl.begin_block(&format!("{tag}/s3-addsub"));
+    let mut big_grs = vec![zero; 3];
+    big_grs.extend_from_slice(&sig_big); // f+4 bits
+    let op2 = nl.xor_bit_bus(&aligned, eff_sub);
+    let (sum, cout) = nl.ripple_add(&big_grs, &op2, eff_sub);
+    let eff_add = nl.not(eff_sub);
+    let carry = nl.and(cout, eff_add);
+    let mut sum5 = sum;
+    sum5.push(carry); // f+5 bits
+
+    // Stage 4: normalization (LZC + left shift).
+    nl.begin_block(&format!("{tag}/s4-normalize"));
+    let z = nl.leading_zero_count(&sum5);
+    let shifted = nl.barrel_shift_left(&sum5, &z[..6.min(z.len())]);
+    let mut mant_grs = shifted[1..].to_vec(); // f+4 bits
+    mant_grs[0] = nl.or(mant_grs[0], shifted[0]);
+    let e_plus1 = add_const(nl, &exp_big, 1);
+    let exp13 = sub_wide(nl, &e_plus1, &z);
+    let sum_zero = nl.is_zero(&sum5);
+
+    // Stages 5–6: round, pack, and special-case selection.
+    nl.begin_block(&format!("{tag}/s5-round"));
+    let rounded = round_pack_block(nl, fmt, sign_big, &exp13, &mant_grs);
+
+    nl.begin_block(&format!("{tag}/s6-pack"));
+    let consts = special_consts(nl, fmt);
+    let inf_inf = nl.and(ca.is_inf, cb.is_inf);
+    let opposite = nl.xor(ca.sign, sb_eff);
+    let inf_minus_inf = nl.and(inf_inf, opposite);
+    let some_nan = nl.or(ca.is_nan, cb.is_nan);
+    let nan_sel = nl.or(some_nan, inf_minus_inf);
+    let mut inf_a = consts.inf_mag.clone();
+    inf_a.push(ca.sign);
+    let mut inf_b = consts.inf_mag.clone();
+    inf_b.push(sb_eff);
+    // Exact cancellation yields +0; 0 + 0 keeps -0 only when both are -0.
+    let both_zero = nl.and(ca.is_zero, cb.is_zero);
+    let sign_z = nl.and3(both_zero, ca.sign, sb_eff);
+    let mut zero_res = vec![zero; w - 1];
+    zero_res.push(sign_z);
+    let result = priority_mux(
+        nl,
+        &rounded.packed,
+        &[
+            (nan_sel, &consts.qnan),
+            (ca.is_inf, &inf_a),
+            (cb.is_inf, &inf_b),
+            (sum_zero, &zero_res),
+        ],
+    );
+    nl.mark_output_bus(&format!("{tag}/result"), &result);
+}
+

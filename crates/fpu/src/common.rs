@@ -1,0 +1,324 @@
+//! Shared gate-level FPU building blocks: operand classification, exponent
+//! arithmetic, and the round/normalize/pack back-end.
+//!
+//! All datapaths mirror `tei-softfloat` with `ftz = true` bit-for-bit; the
+//! correctness tests in this crate enforce that equivalence exhaustively on
+//! random and corner inputs.
+
+use tei_netlist::{NetId, Netlist};
+use tei_softfloat::Format;
+
+/// Width of the signed exponent working buses. 13 bits comfortably hold
+/// `±(2·max_exp + lzc)` for binary64.
+pub const EXPW: usize = 13;
+
+/// Classified operand fields, flush-to-zero semantics: an operand with a
+/// zero exponent field is treated as ±0 regardless of its fraction.
+pub struct FpClass {
+    /// Sign bit net.
+    pub sign: NetId,
+    /// Raw exponent field (LSB-first).
+    pub exp: Vec<NetId>,
+    /// Exponent field is all zeros (value treated as zero under FTZ).
+    pub is_zero: NetId,
+    /// Any NaN.
+    pub is_nan: NetId,
+    /// ±infinity.
+    pub is_inf: NetId,
+    /// Significand with implicit bit, `f+1` bits; zero when `is_zero`.
+    pub sig: Vec<NetId>,
+}
+
+/// Split and classify a floating-point operand bus.
+pub fn classify(nl: &mut Netlist, bits: &[NetId], fmt: Format) -> FpClass {
+    let f = fmt.frac_bits as usize;
+    let e = fmt.exp_bits as usize;
+    assert_eq!(bits.len(), (1 + e + f), "operand width mismatch");
+    let frac: Vec<NetId> = bits[..f].to_vec();
+    let exp: Vec<NetId> = bits[f..f + e].to_vec();
+    let sign = bits[f + e];
+    let exp_zero = nl.is_zero(&exp);
+    let exp_ones = nl.and_reduce(&exp);
+    let frac_nonzero = nl.or_reduce(&frac);
+    let is_nan = nl.and(exp_ones, frac_nonzero);
+    let frac_zero = nl.not(frac_nonzero);
+    let is_inf = nl.and(exp_ones, frac_zero);
+    let implicit = nl.not(exp_zero);
+    // FTZ: gate the fraction so a subnormal's significand reads as zero.
+    let mut sig = nl.and_bit_bus(&frac, implicit);
+    sig.push(implicit);
+    let _ = exp_ones; // folded into is_nan / is_inf
+    FpClass {
+        sign,
+        exp,
+        is_zero: exp_zero,
+        is_nan,
+        is_inf,
+        sig,
+    }
+}
+
+/// Zero-extend a bus to `w` bits.
+pub fn zext(nl: &mut Netlist, bus: &[NetId], w: usize) -> Vec<NetId> {
+    assert!(bus.len() <= w, "bus wider than target");
+    let zero = nl.const_bit(false);
+    let mut out = bus.to_vec();
+    out.resize(w, zero);
+    out
+}
+
+/// `bus + c` over an `EXPW`-bit signed working bus (two's complement).
+pub fn add_const(nl: &mut Netlist, bus: &[NetId], c: i64) -> Vec<NetId> {
+    let cb = nl.const_bus((c as u64) & ((1u64 << EXPW) - 1), EXPW);
+    let a = zext(nl, bus, EXPW);
+    let zero = nl.const_bit(false);
+    nl.ripple_add(&a, &cb, zero).0
+}
+
+/// `a - b` over `EXPW`-bit working buses (inputs zero-extended).
+pub fn sub_wide(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+    let ax = zext(nl, a, EXPW);
+    let bx = zext(nl, b, EXPW);
+    nl.ripple_sub(&ax, &bx).0
+}
+
+/// `a + b` over `EXPW`-bit working buses (inputs zero-extended).
+pub fn add_wide(nl: &mut Netlist, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+    let ax = zext(nl, a, EXPW);
+    let bx = zext(nl, b, EXPW);
+    let zero = nl.const_bit(false);
+    nl.ripple_add(&ax, &bx, zero).0
+}
+
+/// Conditionally increment `bus` by `inc` (a single bit).
+pub fn cond_increment(nl: &mut Netlist, bus: &[NetId], inc: NetId) -> (Vec<NetId>, NetId) {
+    let mut carry = inc;
+    let mut out = Vec::with_capacity(bus.len());
+    for &b in bus {
+        out.push(nl.xor(b, carry));
+        carry = nl.and(b, carry);
+    }
+    (out, carry)
+}
+
+/// The packed constant encodings a special-case mux needs.
+pub struct SpecialConsts {
+    /// Canonical quiet NaN.
+    pub qnan: Vec<NetId>,
+    /// `|+inf|` without the sign bit (exponent ones, fraction zero), `w-1` bits.
+    pub inf_mag: Vec<NetId>,
+}
+
+/// Build the special constants for `fmt`.
+pub fn special_consts(nl: &mut Netlist, fmt: Format) -> SpecialConsts {
+    let w = fmt.width() as usize;
+    let qnan_bits = fmt.quiet_nan();
+    let qnan = nl.const_bus(qnan_bits, w);
+    let inf_bits = fmt.infinity(false);
+    let inf_mag = nl.const_bus(inf_bits, w - 1);
+    SpecialConsts { qnan, inf_mag }
+}
+
+/// Outcome of the shared round/pack back-end.
+pub struct RoundedResult {
+    /// Packed `w`-bit result for the ordinary (finite, non-special) path,
+    /// already handling FTZ underflow (→ signed zero) and overflow
+    /// (→ signed infinity).
+    pub packed: Vec<NetId>,
+}
+
+/// Round-to-nearest-even and pack.
+///
+/// * `sign` — result sign.
+/// * `exp13` — candidate biased exponent, `EXPW`-bit two's complement,
+///   matching `tei-softfloat::round_pack`'s pre-round exponent.
+/// * `mant_grs` — `f+4`-bit significand: bit 0 sticky, bit 1 round,
+///   bit 2 guard, bits `3..f+4` the `f+1`-bit mantissa (MSB = implicit 1).
+///
+/// Underflow (`exp13 <= 0` pre-rounding) flushes to signed zero (FTZ);
+/// overflow after rounding saturates to signed infinity, mirroring the
+/// softfloat reference exactly.
+pub fn round_pack_block(
+    nl: &mut Netlist,
+    fmt: Format,
+    sign: NetId,
+    exp13: &[NetId],
+    mant_grs: &[NetId],
+) -> RoundedResult {
+    let f = fmt.frac_bits as usize;
+    let e = fmt.exp_bits as usize;
+    assert_eq!(exp13.len(), EXPW);
+    assert_eq!(mant_grs.len(), f + 4);
+
+    // Underflow test on the pre-round exponent: sign bit set or value zero.
+    let exp_neg = exp13[EXPW - 1];
+    let exp_zero = nl.is_zero(exp13);
+    let underflow = nl.or(exp_neg, exp_zero);
+
+    // RNE increment: guard & (round | sticky | lsb).
+    let s = mant_grs[0];
+    let r = mant_grs[1];
+    let g = mant_grs[2];
+    let lsb = mant_grs[3];
+    let rs = nl.or(r, s);
+    let rsl = nl.or(rs, lsb);
+    let inc = nl.and(g, rsl);
+    let mant = &mant_grs[3..]; // f+1 bits
+    let (mant_r, carry) = cond_increment(nl, mant, inc);
+    // carry ⇒ mantissa rolled over to zero; exponent gains one.
+    let (exp_r, _) = cond_increment(nl, exp13, carry);
+
+    // Overflow: non-negative exponent ≥ max_exp.
+    let maxexp = nl.const_bus(fmt.max_exp() as u64, EXPW);
+    let exp_r_neg = exp_r[EXPW - 1];
+    let lt_max = nl.ult(&exp_r, &maxexp);
+    let ge_max = nl.not(lt_max);
+    let exp_r_pos = nl.not(exp_r_neg);
+    let overflow = nl.and(exp_r_pos, ge_max);
+
+    // Ordinary packed encoding (exponent truncated to field width).
+    let mut packed_mag: Vec<NetId> = Vec::with_capacity(f + e);
+    packed_mag.extend_from_slice(&mant_r[..f]);
+    packed_mag.extend_from_slice(&exp_r[..e]);
+
+    // Priority: underflow → zero magnitude; overflow → inf magnitude.
+    let zero = nl.const_bit(false);
+    let zero_mag = vec![zero; f + e];
+    let consts = special_consts(nl, fmt);
+    let after_uf = nl.mux_bus(underflow, &packed_mag, &zero_mag);
+    let after_ov = nl.mux_bus(overflow, &after_uf, &consts.inf_mag);
+    let mut packed = after_ov;
+    packed.push(sign);
+    RoundedResult { packed }
+}
+
+/// Cascade a priority list of `(select, value)` pairs over a default bus.
+/// The first asserted select (lowest index) wins.
+pub fn priority_mux(
+    nl: &mut Netlist,
+    default: &[NetId],
+    cases: &[(NetId, &[NetId])],
+) -> Vec<NetId> {
+    let mut out = default.to_vec();
+    for (sel, value) in cases.iter().rev() {
+        out = nl.mux_bus(*sel, &out, value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tei_netlist::CellLibrary;
+
+    #[test]
+    fn classify_flags_specials() {
+        let fmt = Format::F32;
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let a = nl.add_input_bus("a", 32);
+        let c = classify(&mut nl, &a, fmt);
+        nl.mark_output_bus("nan", &[c.is_nan]);
+        nl.mark_output_bus("inf", &[c.is_inf]);
+        nl.mark_output_bus("zero", &[c.is_zero]);
+        nl.mark_output_bus("sig", &c.sig);
+        for (bits, nan, inf, zero) in [
+            (1.0f32.to_bits(), 0u64, 0u64, 0u64),
+            (f32::NAN.to_bits(), 1, 0, 0),
+            (f32::INFINITY.to_bits(), 0, 1, 0),
+            ((-0.0f32).to_bits(), 0, 0, 1),
+            (1u32, 0, 0, 1), // subnormal treated as zero under FTZ
+        ] {
+            let out = nl.eval_u64(&[("a", bits as u64)]);
+            assert_eq!(out["nan"], nan, "{bits:#x}");
+            assert_eq!(out["inf"], inf, "{bits:#x}");
+            assert_eq!(out["zero"], zero, "{bits:#x}");
+            if zero == 1 {
+                assert_eq!(out["sig"], 0, "FTZ significand");
+            }
+        }
+        // Normal significand carries the implicit bit.
+        let out = nl.eval_u64(&[("a", 1.5f32.to_bits() as u64)]);
+        assert_eq!(out["sig"], (1 << 23) | (1 << 22));
+    }
+
+    #[test]
+    fn exponent_helpers() {
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let a = nl.add_input_bus("a", 8);
+        let b = nl.add_input_bus("b", 8);
+        let s = add_const(&mut nl, &a, -5);
+        let d = sub_wide(&mut nl, &a, &b);
+        let t = add_wide(&mut nl, &a, &b);
+        nl.mark_output_bus("s", &s);
+        nl.mark_output_bus("d", &d);
+        nl.mark_output_bus("t", &t);
+        let out = nl.eval_u64(&[("a", 3), ("b", 10)]);
+        let mask = (1u64 << EXPW) - 1;
+        assert_eq!(out["s"], (3i64 - 5) as u64 & mask);
+        assert_eq!(out["d"], (3i64 - 10) as u64 & mask);
+        assert_eq!(out["t"], 13);
+    }
+
+    #[test]
+    fn cond_increment_behaves() {
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let a = nl.add_input_bus("a", 4);
+        let i = nl.add_input_bus("i", 1);
+        let (r, c) = cond_increment(&mut nl, &a, i[0]);
+        nl.mark_output_bus("r", &r);
+        nl.mark_output_bus("c", &[c]);
+        let out = nl.eval_u64(&[("a", 15), ("i", 1)]);
+        assert_eq!(out["r"], 0);
+        assert_eq!(out["c"], 1);
+        let out = nl.eval_u64(&[("a", 7), ("i", 0)]);
+        assert_eq!(out["r"], 7);
+        assert_eq!(out["c"], 0);
+    }
+
+    #[test]
+    fn priority_mux_prefers_first_case() {
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let s = nl.add_input_bus("s", 2);
+        let d = nl.const_bus(0b00, 2);
+        let v1 = nl.const_bus(0b01, 2);
+        let v2 = nl.const_bus(0b10, 2);
+        let out = priority_mux(&mut nl, &d, &[(s[0], &v1), (s[1], &v2)]);
+        nl.mark_output_bus("o", &out);
+        assert_eq!(nl.eval_u64(&[("s", 0b00)])["o"], 0b00);
+        assert_eq!(nl.eval_u64(&[("s", 0b01)])["o"], 0b01);
+        assert_eq!(nl.eval_u64(&[("s", 0b10)])["o"], 0b10);
+        assert_eq!(nl.eval_u64(&[("s", 0b11)])["o"], 0b01, "first case wins");
+    }
+
+    #[test]
+    fn round_pack_matches_reference_cases() {
+        // Round a fixed mantissa layout and compare against manual RNE.
+        let fmt = Format::F32;
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let m = nl.add_input_bus("m", 27); // f+4 = 27
+        let e = nl.add_input_bus("e", EXPW);
+        let sign = nl.const_bit(false);
+        let r = round_pack_block(&mut nl, fmt, sign, &e, &m);
+        nl.mark_output_bus("r", &r.packed);
+        // 1.0 with GRS = 0 → exact.
+        let mant = 1u64 << 26; // implicit bit only
+        let out = nl.eval_u64(&[("m", mant), ("e", 127)]);
+        assert_eq!(out["r"], 1.0f32.to_bits() as u64);
+        // GRS = 0b100 with LSB 0 → tie to even, stays.
+        let out = nl.eval_u64(&[("m", mant | 0b100), ("e", 127)]);
+        assert_eq!(out["r"], 1.0f32.to_bits() as u64);
+        // GRS = 0b101 → round up one ulp.
+        let out = nl.eval_u64(&[("m", mant | 0b101), ("e", 127)]);
+        assert_eq!(out["r"], (1.0f32.to_bits() + 1) as u64);
+        // All-ones mantissa + round up ⇒ carries into the exponent.
+        let all = ((1u64 << 24) - 1) << 3 | 0b111;
+        let out = nl.eval_u64(&[("m", all), ("e", 127)]);
+        assert_eq!(out["r"], 2.0f32.to_bits() as u64);
+        // exp <= 0 pre-round flushes to zero (FTZ).
+        let out = nl.eval_u64(&[("m", mant), ("e", 0)]);
+        assert_eq!(out["r"], 0);
+        // exp at max_exp overflows to +inf.
+        let out = nl.eval_u64(&[("m", mant), ("e", 255)]);
+        assert_eq!(out["r"], f32::INFINITY.to_bits() as u64);
+    }
+}

@@ -1,0 +1,118 @@
+//! Whole-core netlist assembly for the paper's Figure 4 path census:
+//! all twelve FPU datapaths plus the short non-FPU pipeline blocks
+//! (decode, integer ALU, address generation, branch compare).
+
+use crate::unit::{build_datapath, short_tag, FpuTimingSpec};
+use tei_netlist::{CellLibrary, Netlist};
+use tei_softfloat::FpOp;
+use tei_timing::Sta;
+
+/// Nominal critical-delay targets for the non-FPU blocks (ns). All sit
+/// comfortably below the voltage-reduction failure thresholds, reproducing
+/// the paper's observation that only FPU paths are error-prone.
+pub const DECODE_TARGET: f64 = 1.30;
+/// Integer ALU target delay (ns).
+pub const ALU_TARGET: f64 = 2.30;
+/// Load/store address-generation target delay (ns).
+pub const AGEN_TARGET: f64 = 2.00;
+/// Branch-compare target delay (ns).
+pub const BRANCH_TARGET: f64 = 1.60;
+
+fn scale_new_blocks(nl: &mut Netlist, from_block: usize, endpoint_port: &str, target: f64) {
+    let sta = Sta::analyze(nl);
+    let max = nl
+        .output_port(endpoint_port)
+        .expect("endpoint port")
+        .iter()
+        .map(|&n| sta.arrival(n))
+        .fold(0.0f64, f64::max);
+    assert!(max > 0.0, "degenerate block at {endpoint_port}");
+    let factor = target / max;
+    let upto = nl.block_names().len();
+    for b in from_block..upto {
+        let id = nl.intern_block(&nl.block_names()[b].clone());
+        nl.scale_block_delays(id, factor);
+    }
+}
+
+fn build_decode(nl: &mut Netlist) {
+    let start = nl.block_names().len();
+    nl.begin_block("core/decode");
+    let instr = nl.add_input_bus("decode/instr", 32);
+    // A few layers of mixing logic standing in for opcode decode trees.
+    let mut layer = instr.clone();
+    for round in 0..3 {
+        let mut next = Vec::new();
+        for i in 0..layer.len() / 2 {
+            let a = layer[i];
+            let b = layer[layer.len() - 1 - i];
+            next.push(if (i + round) % 2 == 0 {
+                nl.and(a, b)
+            } else {
+                nl.xor(a, b)
+            });
+        }
+        layer = next;
+    }
+    nl.mark_output_bus("decode/ctrl", &layer);
+    scale_new_blocks(nl, start, "decode/ctrl", DECODE_TARGET);
+}
+
+fn build_alu(nl: &mut Netlist) {
+    let start = nl.block_names().len();
+    nl.begin_block("core/alu");
+    let a = nl.add_input_bus("alu/a", 32);
+    let b = nl.add_input_bus("alu/b", 32);
+    let op = nl.add_input_bus("alu/op", 2);
+    let zero = nl.const_bit(false);
+    let (sum, _) = nl.ripple_add(&a, &b, zero);
+    let (diff, _) = nl.ripple_sub(&a, &b);
+    let conj = nl.and_bus(&a, &b);
+    let xo = nl.xor_bus(&a, &b);
+    let lo = nl.mux_bus(op[0], &sum, &diff);
+    let hi = nl.mux_bus(op[0], &conj, &xo);
+    let result = nl.mux_bus(op[1], &lo, &hi);
+    nl.mark_output_bus("alu/result", &result);
+    scale_new_blocks(nl, start, "alu/result", ALU_TARGET);
+}
+
+fn build_agen(nl: &mut Netlist) {
+    let start = nl.block_names().len();
+    nl.begin_block("core/lsu-agen");
+    let base = nl.add_input_bus("agen/base", 32);
+    let off = nl.add_input_bus("agen/offset", 32);
+    let zero = nl.const_bit(false);
+    let (addr, _) = nl.ripple_add(&base, &off, zero);
+    nl.mark_output_bus("agen/addr", &addr);
+    scale_new_blocks(nl, start, "agen/addr", AGEN_TARGET);
+}
+
+fn build_branch(nl: &mut Netlist) {
+    let start = nl.block_names().len();
+    nl.begin_block("core/branch");
+    let a = nl.add_input_bus("branch/a", 32);
+    let b = nl.add_input_bus("branch/b", 32);
+    let eq = nl.eq_bus(&a, &b);
+    let lt = nl.ult(&a, &b);
+    let taken = nl.or(eq, lt);
+    nl.mark_output_bus("branch/taken", &[taken]);
+    scale_new_blocks(nl, start, "branch/taken", BRANCH_TARGET);
+}
+
+/// Assemble the whole-core netlist: every FPU datapath plus the non-FPU
+/// pipeline blocks, each calibrated to its published critical delay. The
+/// result feeds [`PathCensus`](tei_timing::PathCensus) for Figure 4.
+pub fn whole_core(spec: &FpuTimingSpec) -> Netlist {
+    let mut nl = Netlist::new("marocchino-like-core", CellLibrary::nangate45_like());
+    build_decode(&mut nl);
+    build_alu(&mut nl);
+    build_agen(&mut nl);
+    build_branch(&mut nl);
+    for op in FpOp::all() {
+        let tag = short_tag(op);
+        let start = nl.block_names().len();
+        build_datapath(&mut nl, op, &tag);
+        scale_new_blocks(&mut nl, start, &format!("{tag}/result"), spec.target(op));
+    }
+    nl
+}

@@ -1,0 +1,105 @@
+//! Gate-level integer ↔ floating-point conversion datapaths.
+
+use crate::common::{classify, priority_mux, round_pack_block, special_consts, sub_wide, zext, EXPW};
+use tei_netlist::Netlist;
+use tei_softfloat::Precision;
+
+/// Build a signed-integer → float datapath into `nl`.
+///
+/// Port `{tag}/a` is the integer operand (`precision.int_bits()` bits,
+/// two's complement); `{tag}/result` is the packed float.
+pub fn build_i2f(nl: &mut Netlist, precision: Precision, tag: &str) {
+    let fmt = precision.format();
+    let wi = precision.int_bits() as usize;
+    let w = fmt.width() as usize;
+    let f = fmt.frac_bits as usize;
+    let a = nl.add_input_bus(&format!("{tag}/a"), wi);
+
+    nl.begin_block(&format!("{tag}/s1-absolute"));
+    let sign = a[wi - 1];
+    let neg = nl.negate(&a);
+    let mag = nl.mux_bus(sign, &a, &neg);
+    let is_zero = nl.is_zero(&a);
+
+    nl.begin_block(&format!("{tag}/s2-normalize"));
+    let z = nl.leading_zero_count(&mag);
+    let shifted = nl.barrel_shift_left(&mag, &z[..6.min(z.len())]);
+    // Top f+4 bits become mantissa+GRS; the rest fold into sticky.
+    let cut = wi - (f + 4); // 8 for i64→f64, 5 for i32→f32
+    let mut mant_grs: Vec<_> = shifted[cut..].to_vec();
+    let sticky = nl.or_reduce(&shifted[..cut]);
+    mant_grs[0] = nl.or(mant_grs[0], sticky);
+    let top = nl.const_bus((fmt.bias() + wi as i32 - 1) as u64, EXPW);
+    let exp13 = sub_wide(nl, &top, &z);
+
+    nl.begin_block(&format!("{tag}/s3-round"));
+    let rounded = round_pack_block(nl, fmt, sign, &exp13, &mant_grs);
+
+    nl.begin_block(&format!("{tag}/s4-pack"));
+    let zero = nl.const_bit(false);
+    let zero_res = vec![zero; w];
+    let result = priority_mux(nl, &rounded.packed, &[(is_zero, &zero_res)]);
+    nl.mark_output_bus(&format!("{tag}/result"), &result);
+}
+
+/// Build a float → signed-integer datapath (truncate toward zero,
+/// saturating; NaN → 0) into `nl`.
+///
+/// Port `{tag}/a` is the packed float; `{tag}/result` is the
+/// `precision.int_bits()`-bit two's-complement integer.
+pub fn build_f2i(nl: &mut Netlist, precision: Precision, tag: &str) {
+    let fmt = precision.format();
+    let wi = precision.int_bits() as usize;
+    let f = fmt.frac_bits as usize;
+    let a = nl.add_input_bus(&format!("{tag}/a"), fmt.width() as usize);
+    let amt_bits = wi.trailing_zeros() as usize; // 6 for 64, 5 for 32
+
+    nl.begin_block(&format!("{tag}/s1-classify"));
+    let ca = classify(nl, &a, fmt);
+    let bias = nl.const_bus(fmt.bias() as u64, EXPW);
+    let eu = sub_wide(nl, &ca.exp, &bias);
+    let eu_neg = eu[EXPW - 1];
+    // eu ≥ wi ⇒ certain overflow (bits above the shifter's reach).
+    let high = nl.or_reduce(&eu[amt_bits..EXPW - 1]);
+    let eu_pos = nl.not(eu_neg);
+    let too_big = nl.and(high, eu_pos);
+
+    nl.begin_block(&format!("{tag}/s2-shift"));
+    let wide = zext(nl, &ca.sig, f + wi);
+    let shifted = nl.barrel_shift_left(&wide, &eu[..amt_bits]);
+    let mag: Vec<_> = shifted[f..].to_vec(); // wi bits: floor(sig·2^(eu-f))
+
+    nl.begin_block(&format!("{tag}/s3-saturate"));
+    let mag_top = mag[wi - 1];
+    let low_nonzero = nl.or_reduce(&mag[..wi - 1]);
+    let not_sign = nl.not(ca.sign);
+    let pos_ovf = nl.and(not_sign, mag_top);
+    let neg_ovf = nl.and3(ca.sign, mag_top, low_nonzero);
+    let ovf = nl.or3(too_big, pos_ovf, neg_ovf);
+    let saturate = nl.or(ovf, ca.is_inf);
+    let neg = nl.negate(&mag);
+    let value = nl.mux_bus(ca.sign, &mag, &neg);
+
+    nl.begin_block(&format!("{tag}/s4-pack"));
+    let _ = special_consts(nl, fmt); // keep special constants co-located
+    // MAX = 0111…1, MIN = 1000…0, selected by sign.
+    let max_c = nl.const_bus(((1u128 << (wi - 1)) - 1) as u64, wi);
+    let min_c = nl.const_bus(1u64 << (wi - 1), wi);
+    let sat_val = nl.mux_bus(ca.sign, &max_c, &min_c);
+    let zero = nl.const_bit(false);
+    let zero_res = vec![zero; wi];
+    // |value| < 1 (negative unbiased exponent) or a zero operand → 0.
+    let small = nl.or(eu_neg, ca.is_zero);
+    let result = priority_mux(
+        nl,
+        &value,
+        &[
+            (ca.is_nan, &zero_res),
+            // |value| < 1 must win before overflow: with a negative shift
+            // amount the barrel shifter's output is meaningless.
+            (small, &zero_res),
+            (saturate, &sat_val),
+        ],
+    );
+    nl.mark_output_bus(&format!("{tag}/result"), &result);
+}

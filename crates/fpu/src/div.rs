@@ -1,0 +1,70 @@
+//! Gate-level floating-point divider datapath (non-restoring mantissa
+//! divider array with preloaded partial remainder).
+
+use crate::common::{add_const, classify, cond_increment, priority_mux, round_pack_block, special_consts, sub_wide};
+use tei_netlist::Netlist;
+use tei_softfloat::Format;
+
+/// Build a divider datapath into `nl`.
+///
+/// Ports: `{tag}/a` (dividend), `{tag}/b` (divisor) → `{tag}/result`.
+pub fn build_div(nl: &mut Netlist, fmt: Format, tag: &str) {
+    let w = fmt.width() as usize;
+    let f = fmt.frac_bits as usize;
+    let a = nl.add_input_bus(&format!("{tag}/a"), w);
+    let b = nl.add_input_bus(&format!("{tag}/b"), w);
+
+    nl.begin_block(&format!("{tag}/s1-classify"));
+    let ca = classify(nl, &a, fmt);
+    let cb = classify(nl, &b, fmt);
+    let sign = nl.xor(ca.sign, cb.sign);
+
+    nl.begin_block(&format!("{tag}/s2-mantissa-div"));
+    // Quotient of sig_a · 2^(f+4) / sig_b, using a preloaded remainder:
+    // high = sig_a >> 1 (< 2^f ≤ sig_b), low streams sig_a[0] then f+4 zeros.
+    let zero = nl.const_bit(false);
+    let high: Vec<_> = ca.sig[1..].to_vec();
+    let mut low = vec![zero; f + 4];
+    low.push(ca.sig[0]); // low value = sig_a[0] << (f+4)
+    let (q, rem) = nl.nonrestoring_divider_preloaded(&high, &low, &cb.sig);
+    debug_assert_eq!(q.len(), f + 5);
+    let r_nonzero = nl.or_reduce(&rem);
+
+    nl.begin_block(&format!("{tag}/s3-normalize"));
+    let c = q[f + 4]; // quotient in [1, 2) when set, else [1/2, 1)
+    let mut opt_hi: Vec<_> = q[1..f + 5].to_vec();
+    opt_hi[0] = nl.or(opt_hi[0], q[0]);
+    let opt_lo: Vec<_> = q[..f + 4].to_vec();
+    let mut mant_grs = nl.mux_bus(c, &opt_lo, &opt_hi);
+    mant_grs[0] = nl.or(mant_grs[0], r_nonzero);
+    let ediff = sub_wide(nl, &ca.exp, &cb.exp);
+    let ebase = add_const(nl, &ediff, fmt.bias() as i64 - 1);
+    let (exp13, _) = cond_increment(nl, &ebase, c);
+
+    nl.begin_block(&format!("{tag}/s4-round"));
+    let rounded = round_pack_block(nl, fmt, sign, &exp13, &mant_grs);
+
+    nl.begin_block(&format!("{tag}/s5-pack"));
+    let consts = special_consts(nl, fmt);
+    let inf_inf = nl.and(ca.is_inf, cb.is_inf);
+    let zero_zero = nl.and(ca.is_zero, cb.is_zero);
+    let bad = nl.or(inf_inf, zero_zero);
+    let some_nan = nl.or(ca.is_nan, cb.is_nan);
+    let nan_sel = nl.or(some_nan, bad);
+    let mut inf_res = consts.inf_mag.clone();
+    inf_res.push(sign);
+    let mut zero_res = vec![zero; w - 1];
+    zero_res.push(sign);
+    let zero_sel = nl.or(ca.is_zero, cb.is_inf); // 0/x or x/inf
+    let result = priority_mux(
+        nl,
+        &rounded.packed,
+        &[
+            (nan_sel, &consts.qnan),
+            (ca.is_inf, &inf_res),  // inf / finite
+            (zero_sel, &zero_res),
+            (cb.is_zero, &inf_res), // finite nonzero / 0
+        ],
+    );
+    nl.mark_output_bus(&format!("{tag}/result"), &result);
+}

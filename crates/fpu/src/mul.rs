@@ -1,0 +1,66 @@
+//! Gate-level floating-point multiplier datapath (array multiplier with
+//! carry-save reduction, normalization, rounding, special selection).
+
+use crate::common::{add_const, add_wide, classify, cond_increment, priority_mux, round_pack_block, special_consts};
+use tei_netlist::Netlist;
+use tei_softfloat::Format;
+
+/// Build a multiplier datapath into `nl`.
+///
+/// Ports: `{tag}/a`, `{tag}/b` → `{tag}/result`, all `fmt.width()` bits.
+pub fn build_mul(nl: &mut Netlist, fmt: Format, tag: &str) {
+    let w = fmt.width() as usize;
+    let f = fmt.frac_bits as usize;
+    let a = nl.add_input_bus(&format!("{tag}/a"), w);
+    let b = nl.add_input_bus(&format!("{tag}/b"), w);
+
+    nl.begin_block(&format!("{tag}/s1-classify"));
+    let ca = classify(nl, &a, fmt);
+    let cb = classify(nl, &b, fmt);
+    let sign = nl.xor(ca.sign, cb.sign);
+
+    nl.begin_block(&format!("{tag}/s2-mantissa-mul"));
+    let p = nl.array_multiplier(&ca.sig, &cb.sig); // 2f+2 bits
+
+    nl.begin_block(&format!("{tag}/s3-normalize"));
+    let c = p[2 * f + 1];
+    // Product in [2, 4): take p[f-2 .. 2f+2); product in [1, 2): p[f-3 .. 2f+1).
+    let opt_hi: Vec<_> = p[f - 2..2 * f + 2].to_vec();
+    let sticky_hi = nl.or_reduce(&p[..f - 2]);
+    let opt_lo: Vec<_> = p[f - 3..2 * f + 1].to_vec();
+    let sticky_lo = nl.or_reduce(&p[..f - 3]);
+    let mut mant_grs = nl.mux_bus(c, &opt_lo, &opt_hi);
+    let sticky = nl.mux(c, sticky_lo, sticky_hi);
+    mant_grs[0] = nl.or(mant_grs[0], sticky);
+    let esum = add_wide(nl, &ca.exp, &cb.exp);
+    let ebase = add_const(nl, &esum, -fmt.bias() as i64);
+    let (exp13, _) = cond_increment(nl, &ebase, c);
+
+    nl.begin_block(&format!("{tag}/s4-round"));
+    let rounded = round_pack_block(nl, fmt, sign, &exp13, &mant_grs);
+
+    nl.begin_block(&format!("{tag}/s5-pack"));
+    let consts = special_consts(nl, fmt);
+    let inf_zero_a = nl.and(ca.is_inf, cb.is_zero);
+    let inf_zero_b = nl.and(ca.is_zero, cb.is_inf);
+    let bad = nl.or(inf_zero_a, inf_zero_b);
+    let some_nan = nl.or(ca.is_nan, cb.is_nan);
+    let nan_sel = nl.or(some_nan, bad);
+    let some_inf = nl.or(ca.is_inf, cb.is_inf);
+    let some_zero = nl.or(ca.is_zero, cb.is_zero);
+    let mut inf_res = consts.inf_mag.clone();
+    inf_res.push(sign);
+    let zero = nl.const_bit(false);
+    let mut zero_res = vec![zero; w - 1];
+    zero_res.push(sign);
+    let result = priority_mux(
+        nl,
+        &rounded.packed,
+        &[
+            (nan_sel, &consts.qnan),
+            (some_inf, &inf_res),
+            (some_zero, &zero_res),
+        ],
+    );
+    nl.mark_output_bus(&format!("{tag}/result"), &result);
+}

@@ -1,0 +1,215 @@
+//! Gate-level ↔ softfloat conformance: every generated datapath must match
+//! the `tei-softfloat` reference (flush-to-zero mode) bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tei_fpu::{FpuTimingSpec, FpuUnit};
+use tei_softfloat::{Flags, FpOp, FpOpKind, FpuConfig, Precision};
+
+const FTZ: FpuConfig = FpuConfig { ftz: true };
+
+fn reference(op: FpOp, a: u64, b: u64) -> u64 {
+    let mut flags = Flags::default();
+    let mask = if op.result_bits() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << op.result_bits()) - 1
+    };
+    tei_softfloat::apply_op(op, a, b, FTZ, &mut flags) & mask
+}
+
+fn corner_f64() -> Vec<u64> {
+    let mut v: Vec<u64> = [
+        0.0f64,
+        -0.0,
+        1.0,
+        -1.0,
+        1.5,
+        0.1,
+        2.0,
+        1e300,
+        -1e300,
+        1e-300,
+        f64::MAX,
+        f64::MIN_POSITIVE,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NAN,
+        std::f64::consts::PI,
+    ]
+    .iter()
+    .map(|x| x.to_bits())
+    .collect();
+    v.push(1); // subnormal
+    v.push(0x8000_0000_0000_0001); // negative subnormal
+    v.push(0x7ff0_0000_0000_0001); // signaling NaN
+    v
+}
+
+fn corner_f32() -> Vec<u64> {
+    let mut v: Vec<u64> = [
+        0.0f32,
+        -0.0,
+        1.0,
+        -1.0,
+        1.5,
+        0.1,
+        1e38,
+        -1e38,
+        1e-38,
+        f32::MAX,
+        f32::MIN_POSITIVE,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+    ]
+    .iter()
+    .map(|x| x.to_bits() as u64)
+    .collect();
+    v.push(1);
+    v.push(0x8000_0001);
+    v
+}
+
+fn random_operand(rng: &mut StdRng, precision: Precision) -> u64 {
+    match precision {
+        Precision::Double => {
+            // Mix of raw patterns and exponent-structured values.
+            if rng.gen_bool(0.5) {
+                rng.gen::<u64>()
+            } else {
+                let s = (rng.gen::<bool>() as u64) << 63;
+                let e = rng.gen_range(0u64..2048) << 52;
+                let f = rng.gen::<u64>() & ((1 << 52) - 1);
+                s | e | f
+            }
+        }
+        Precision::Single => {
+            if rng.gen_bool(0.5) {
+                rng.gen::<u32>() as u64
+            } else {
+                let s = (rng.gen::<bool>() as u32) << 31;
+                let e = rng.gen_range(0u32..256) << 23;
+                let f = rng.gen::<u32>() & ((1 << 23) - 1);
+                (s | e | f) as u64
+            }
+        }
+    }
+}
+
+fn check_unit(op: FpOp, random_cases: usize) {
+    let unit = FpuUnit::generate(op, &FpuTimingSpec::paper_calibrated());
+    let corners = match op.precision {
+        Precision::Double => corner_f64(),
+        Precision::Single => corner_f32(),
+    };
+    let int_corners: Vec<u64> = [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1 << 52, -(1 << 40)]
+        .iter()
+        .map(|&x| match op.precision {
+            Precision::Double => x as u64,
+            Precision::Single => (x as i32) as u32 as u64,
+        })
+        .collect();
+    let a_pool: &[u64] = if op.kind == FpOpKind::ItoF {
+        &int_corners
+    } else {
+        &corners
+    };
+    let mut cases: Vec<(u64, u64)> = Vec::new();
+    for &a in a_pool {
+        if op.is_binary() {
+            for &b in &corners {
+                cases.push((a, b));
+            }
+        } else {
+            cases.push((a, 0));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(0xF00D + op.index() as u64);
+    for _ in 0..random_cases {
+        let a = if op.kind == FpOpKind::ItoF {
+            match op.precision {
+                Precision::Double => rng.gen::<u64>(),
+                Precision::Single => rng.gen::<u32>() as u64,
+            }
+        } else {
+            random_operand(&mut rng, op.precision)
+        };
+        let b = if op.is_binary() {
+            random_operand(&mut rng, op.precision)
+        } else {
+            0
+        };
+        cases.push((a, b));
+    }
+    for (a, b) in cases {
+        let gate = unit.eval_bits(a, b);
+        let gold = reference(op, a, b);
+        assert_eq!(
+            gate, gold,
+            "{op}: a={a:#018x} b={b:#018x} gate={gate:#018x} gold={gold:#018x}"
+        );
+    }
+}
+
+// Case counts are kept moderate per unit so the whole suite stays fast in
+// debug builds; the nightly-style exhaustive sweep lives in the benches.
+#[test]
+fn fp_add_double_conforms() {
+    check_unit(FpOp::new(FpOpKind::Add, Precision::Double), 400);
+}
+
+#[test]
+fn fp_sub_double_conforms() {
+    check_unit(FpOp::new(FpOpKind::Sub, Precision::Double), 400);
+}
+
+#[test]
+fn fp_mul_double_conforms() {
+    check_unit(FpOp::new(FpOpKind::Mul, Precision::Double), 300);
+}
+
+#[test]
+fn fp_div_double_conforms() {
+    check_unit(FpOp::new(FpOpKind::Div, Precision::Double), 200);
+}
+
+#[test]
+fn i2f_double_conforms() {
+    check_unit(FpOp::new(FpOpKind::ItoF, Precision::Double), 400);
+}
+
+#[test]
+fn f2i_double_conforms() {
+    check_unit(FpOp::new(FpOpKind::FtoI, Precision::Double), 400);
+}
+
+#[test]
+fn fp_add_single_conforms() {
+    check_unit(FpOp::new(FpOpKind::Add, Precision::Single), 400);
+}
+
+#[test]
+fn fp_sub_single_conforms() {
+    check_unit(FpOp::new(FpOpKind::Sub, Precision::Single), 400);
+}
+
+#[test]
+fn fp_mul_single_conforms() {
+    check_unit(FpOp::new(FpOpKind::Mul, Precision::Single), 400);
+}
+
+#[test]
+fn fp_div_single_conforms() {
+    check_unit(FpOp::new(FpOpKind::Div, Precision::Single), 300);
+}
+
+#[test]
+fn i2f_single_conforms() {
+    check_unit(FpOp::new(FpOpKind::ItoF, Precision::Single), 400);
+}
+
+#[test]
+fn f2i_single_conforms() {
+    check_unit(FpOp::new(FpOpKind::FtoI, Precision::Single), 400);
+}

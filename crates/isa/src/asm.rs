@@ -1,0 +1,579 @@
+//! Text assembler for the `tei` ISA.
+//!
+//! Two-pass: data labels are resolved in a pre-scan, text labels through
+//! the builder's fixup machinery. Syntax follows common RISC assembler
+//! conventions:
+//!
+//! ```text
+//! # comments run to end of line
+//!         li   t0, 10
+//!         la   a0, table        # data label -> address
+//! loop:   fld  f1, 0(a0)
+//!         fadd.d f2, f2, f1
+//!         addi a0, a0, 8
+//!         addi t0, t0, -1
+//!         bne  t0, zero, loop
+//!         halt
+//! table:  .double 1.0, 2.5, -3.25
+//! ```
+
+use crate::builder::{Label, ProgramBuilder};
+use crate::instr::Instr;
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use std::collections::HashMap;
+
+/// An assembly failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Assemble a source listing into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line on any syntax error,
+/// unknown mnemonic, bad operand, or undefined label.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    // Pre-scan: data label addresses (data layout is position-independent
+    // of code, so it can be computed up front).
+    let mut data_labels: HashMap<String, u64> = HashMap::new();
+    {
+        let mut scratch = ProgramBuilder::new();
+        for (ln, raw) in src.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            let (label, rest) = split_label(line);
+            if let Some(rest) = rest.strip_prefix('.') {
+                if let Some(name) = label {
+                    scratch.align(directive_align(rest));
+                    data_labels.insert(name.to_string(), scratch.data_addr());
+                }
+                emit_directive(&mut scratch, rest, ln + 1)?;
+            } else if let (Some(_), "") = (label, rest) {
+                // bare label: could be code or data; resolved in main pass
+            }
+        }
+    }
+
+    let mut b = ProgramBuilder::new();
+    let mut text_labels: HashMap<String, Label> = HashMap::new();
+    let mut bound: Vec<String> = Vec::new();
+    let get_label = |b: &mut ProgramBuilder, name: &str, map: &mut HashMap<String, Label>| {
+        *map.entry(name.to_string()).or_insert_with(|| b.label())
+    };
+
+    for (ln, raw) in src.lines().enumerate() {
+        let lineno = ln + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (label, rest) = split_label(line);
+        if let Some(rest_dir) = rest.strip_prefix('.') {
+            emit_directive(&mut b, rest_dir, lineno)?;
+            continue;
+        }
+        if let Some(name) = label {
+            if !data_labels.contains_key(name) {
+                let l = get_label(&mut b, name, &mut text_labels);
+                if bound.contains(&name.to_string()) {
+                    return err(lineno, format!("label {name} bound twice"));
+                }
+                b.bind(l);
+                bound.push(name.to_string());
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        emit_instr(
+            &mut b,
+            rest,
+            lineno,
+            &data_labels,
+            &mut text_labels,
+            &mut bound,
+        )?;
+    }
+    // Undefined text labels surface as builder panics; check eagerly.
+    for name in text_labels.keys() {
+        if !bound.contains(name) {
+            return err(0, format!("undefined label {name}"));
+        }
+    }
+    Ok(b.finish())
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(['#', ';']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn split_label(line: &str) -> (Option<&str>, &str) {
+    if let Some(i) = line.find(':') {
+        let (l, rest) = line.split_at(i);
+        let l = l.trim();
+        if !l.is_empty() && l.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            return (Some(l), rest[1..].trim());
+        }
+    }
+    (None, line)
+}
+
+fn directive_align(rest: &str) -> usize {
+    let word = rest.split_whitespace().next().unwrap_or("");
+    match word {
+        "dword" | "double" => 8,
+        _ => 1,
+    }
+}
+
+fn emit_directive(b: &mut ProgramBuilder, rest: &str, line: usize) -> Result<(), AsmError> {
+    let (word, args) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+    match word {
+        "double" => {
+            for a in args.split(',') {
+                let v: f64 = a
+                    .trim()
+                    .parse()
+                    .map_err(|_| AsmError {
+                        line,
+                        message: format!("bad float {a:?}"),
+                    })?;
+                b.double(v);
+            }
+            Ok(())
+        }
+        "dword" => {
+            for a in args.split(',') {
+                let v = parse_int(a.trim(), line)?;
+                b.dword(v as u64);
+            }
+            Ok(())
+        }
+        "byte" => {
+            for a in args.split(',') {
+                let v = parse_int(a.trim(), line)?;
+                b.bytes(&[v as u8]);
+            }
+            Ok(())
+        }
+        "zero" => {
+            let n = parse_int(args.trim(), line)? as usize;
+            b.zeros(n);
+            Ok(())
+        }
+        other => err(line, format!("unknown directive .{other}")),
+    }
+}
+
+fn parse_int(s: &str, line: usize) -> Result<i64, AsmError> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    };
+    match v {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => err(line, format!("bad integer {s:?}")),
+    }
+}
+
+fn reg(s: &str, line: usize) -> Result<Reg, AsmError> {
+    Reg::parse(s.trim()).ok_or(AsmError {
+        line,
+        message: format!("bad register {s:?}"),
+    })
+}
+
+fn freg(s: &str, line: usize) -> Result<FReg, AsmError> {
+    FReg::parse(s.trim()).ok_or(AsmError {
+        line,
+        message: format!("bad fp register {s:?}"),
+    })
+}
+
+/// Parse `off(reg)`.
+fn mem(s: &str, line: usize) -> Result<(i16, Reg), AsmError> {
+    let s = s.trim();
+    let open = s.find('(').ok_or(AsmError {
+        line,
+        message: format!("expected off(reg), got {s:?}"),
+    })?;
+    let close = s.rfind(')').ok_or(AsmError {
+        line,
+        message: "missing )".to_string(),
+    })?;
+    let off = if s[..open].trim().is_empty() {
+        0
+    } else {
+        parse_int(&s[..open], line)?
+    };
+    let off = i16::try_from(off).map_err(|_| AsmError {
+        line,
+        message: format!("offset {off} out of range"),
+    })?;
+    Ok((off, reg(&s[open + 1..close], line)?))
+}
+
+#[allow(clippy::too_many_lines)]
+fn emit_instr(
+    b: &mut ProgramBuilder,
+    text: &str,
+    line: usize,
+    data_labels: &HashMap<String, u64>,
+    text_labels: &mut HashMap<String, Label>,
+    bound: &mut Vec<String>,
+) -> Result<(), AsmError> {
+    let _ = bound;
+    let (mn, args) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+    let a: Vec<&str> = if args.trim().is_empty() {
+        Vec::new()
+    } else {
+        args.split(',').map(str::trim).collect()
+    };
+    let need = |n: usize| -> Result<(), AsmError> {
+        if a.len() == n {
+            Ok(())
+        } else {
+            err(line, format!("{mn} expects {n} operands, got {}", a.len()))
+        }
+    };
+    let imm16 = |s: &str| -> Result<i16, AsmError> {
+        let v = parse_int(s, line)?;
+        i16::try_from(v).map_err(|_| AsmError {
+            line,
+            message: format!("immediate {v} out of i16 range"),
+        })
+    };
+    let lab = |b: &mut ProgramBuilder, text_labels: &mut HashMap<String, Label>, s: &str| {
+        *text_labels
+            .entry(s.to_string())
+            .or_insert_with(|| b.label())
+    };
+
+    match mn {
+        // R-type
+        "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "slt" | "sltu" | "mul"
+        | "div" | "rem" => {
+            need(3)?;
+            let (rd, rs1, rs2) = (reg(a[0], line)?, reg(a[1], line)?, reg(a[2], line)?);
+            match mn {
+                "add" => b.add(rd, rs1, rs2),
+                "sub" => b.sub(rd, rs1, rs2),
+                "and" => b.and(rd, rs1, rs2),
+                "or" => b.or(rd, rs1, rs2),
+                "xor" => b.xor(rd, rs1, rs2),
+                "sll" => b.sll(rd, rs1, rs2),
+                "srl" => b.srl(rd, rs1, rs2),
+                "sra" => b.sra(rd, rs1, rs2),
+                "slt" => b.slt(rd, rs1, rs2),
+                "sltu" => b.sltu(rd, rs1, rs2),
+                "mul" => b.mul(rd, rs1, rs2),
+                "div" => b.div(rd, rs1, rs2),
+                _ => b.rem(rd, rs1, rs2),
+            }
+        }
+        "addi" | "andi" | "ori" | "xori" | "slti" => {
+            need(3)?;
+            let (rd, rs1, imm) = (reg(a[0], line)?, reg(a[1], line)?, imm16(a[2])?);
+            match mn {
+                "addi" => b.addi(rd, rs1, imm),
+                "andi" => b.andi(rd, rs1, imm),
+                "ori" => b.ori(rd, rs1, imm),
+                "xori" => b.xori(rd, rs1, imm),
+                _ => b.slti(rd, rs1, imm),
+            }
+        }
+        "slli" | "srli" | "srai" => {
+            need(3)?;
+            let (rd, rs1) = (reg(a[0], line)?, reg(a[1], line)?);
+            let sh = parse_int(a[2], line)?;
+            if !(0..64).contains(&sh) {
+                return err(line, format!("shift amount {sh} out of range"));
+            }
+            match mn {
+                "slli" => b.slli(rd, rs1, sh as u8),
+                "srli" => b.srli(rd, rs1, sh as u8),
+                _ => b.srai(rd, rs1, sh as u8),
+            }
+        }
+        "movhi" => {
+            need(2)?;
+            let rd = reg(a[0], line)?;
+            let v = parse_int(a[1], line)?;
+            b.movhi(rd, v as u16);
+        }
+        "ld" | "lw" | "lwu" | "lb" | "lbu" => {
+            need(2)?;
+            let rd = reg(a[0], line)?;
+            let (off, rs1) = mem(a[1], line)?;
+            match mn {
+                "ld" => b.ld(rd, off, rs1),
+                "lw" => b.lw(rd, off, rs1),
+                "lwu" => b.lwu(rd, off, rs1),
+                "lb" => b.lb(rd, off, rs1),
+                _ => b.lbu(rd, off, rs1),
+            }
+        }
+        "sd" | "sw" | "sb" => {
+            need(2)?;
+            let rs2 = reg(a[0], line)?;
+            let (off, rs1) = mem(a[1], line)?;
+            match mn {
+                "sd" => b.sd(rs2, off, rs1),
+                "sw" => b.sw(rs2, off, rs1),
+                _ => b.sb(rs2, off, rs1),
+            }
+        }
+        "fld" | "flw" => {
+            need(2)?;
+            let fd = freg(a[0], line)?;
+            let (off, rs1) = mem(a[1], line)?;
+            if mn == "fld" {
+                b.fld(fd, off, rs1);
+            } else {
+                b.flw(fd, off, rs1);
+            }
+        }
+        "fsd" | "fsw" => {
+            need(2)?;
+            let fs = freg(a[0], line)?;
+            let (off, rs1) = mem(a[1], line)?;
+            if mn == "fsd" {
+                b.fsd(fs, off, rs1);
+            } else {
+                b.fsw(fs, off, rs1);
+            }
+        }
+        "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+            need(3)?;
+            let (rs1, rs2) = (reg(a[0], line)?, reg(a[1], line)?);
+            let l = lab(b, text_labels, a[2]);
+            match mn {
+                "beq" => b.beq(rs1, rs2, l),
+                "bne" => b.bne(rs1, rs2, l),
+                "blt" => b.blt(rs1, rs2, l),
+                "bge" => b.bge(rs1, rs2, l),
+                "bltu" => b.bltu(rs1, rs2, l),
+                _ => b.bgeu(rs1, rs2, l),
+            }
+        }
+        "j" => {
+            need(1)?;
+            let l = lab(b, text_labels, a[0]);
+            b.j(l);
+        }
+        "call" => {
+            need(1)?;
+            let l = lab(b, text_labels, a[0]);
+            b.call(l);
+        }
+        "ret" => {
+            need(0)?;
+            b.ret();
+        }
+        "jalr" => {
+            need(2)?;
+            let rd = reg(a[0], line)?;
+            let (imm, rs1) = mem(a[1], line)?;
+            b.push(Instr::Jalr { rd, rs1, imm });
+        }
+        "fadd.d" | "fsub.d" | "fmul.d" | "fdiv.d" | "fadd.s" | "fsub.s" | "fmul.s" | "fdiv.s" => {
+            need(3)?;
+            let (fd, f1, f2) = (freg(a[0], line)?, freg(a[1], line)?, freg(a[2], line)?);
+            match mn {
+                "fadd.d" => b.fadd_d(fd, f1, f2),
+                "fsub.d" => b.fsub_d(fd, f1, f2),
+                "fmul.d" => b.fmul_d(fd, f1, f2),
+                "fdiv.d" => b.fdiv_d(fd, f1, f2),
+                "fadd.s" => b.fadd_s(fd, f1, f2),
+                "fsub.s" => b.fsub_s(fd, f1, f2),
+                "fmul.s" => b.fmul_s(fd, f1, f2),
+                _ => b.fdiv_s(fd, f1, f2),
+            }
+        }
+        "feq.d" | "flt.d" | "fle.d" => {
+            need(3)?;
+            let (rd, f1, f2) = (reg(a[0], line)?, freg(a[1], line)?, freg(a[2], line)?);
+            match mn {
+                "feq.d" => b.feq_d(rd, f1, f2),
+                "flt.d" => b.flt_d(rd, f1, f2),
+                _ => b.fle_d(rd, f1, f2),
+            }
+        }
+        "fcvt.d.l" => {
+            need(2)?;
+            let (fd, rs1) = (freg(a[0], line)?, reg(a[1], line)?);
+            b.fcvt_d_l(fd, rs1);
+        }
+        "fcvt.l.d" => {
+            need(2)?;
+            let (rd, fs1) = (reg(a[0], line)?, freg(a[1], line)?);
+            b.fcvt_l_d(rd, fs1);
+        }
+        "fcvt.s.w" => {
+            need(2)?;
+            let (fd, rs1) = (freg(a[0], line)?, reg(a[1], line)?);
+            b.fcvt_s_w(fd, rs1);
+        }
+        "fcvt.w.s" => {
+            need(2)?;
+            let (rd, fs1) = (reg(a[0], line)?, freg(a[1], line)?);
+            b.fcvt_w_s(rd, fs1);
+        }
+        "fmv.d" | "fneg.d" | "fabs.d" => {
+            need(2)?;
+            let (fd, fs1) = (freg(a[0], line)?, freg(a[1], line)?);
+            match mn {
+                "fmv.d" => b.fmv_d(fd, fs1),
+                "fneg.d" => b.fneg_d(fd, fs1),
+                _ => b.fabs_d(fd, fs1),
+            }
+        }
+        "fmv.x.d" => {
+            need(2)?;
+            let (rd, fs1) = (reg(a[0], line)?, freg(a[1], line)?);
+            b.fmv_x_d(rd, fs1);
+        }
+        "fmv.d.x" => {
+            need(2)?;
+            let (fd, rs1) = (freg(a[0], line)?, reg(a[1], line)?);
+            b.fmv_d_x(fd, rs1);
+        }
+        // pseudo-instructions
+        "li" => {
+            need(2)?;
+            let rd = reg(a[0], line)?;
+            b.li(rd, parse_int(a[1], line)?);
+        }
+        "la" => {
+            need(2)?;
+            let rd = reg(a[0], line)?;
+            let addr = *data_labels.get(a[1]).ok_or(AsmError {
+                line,
+                message: format!("unknown data label {:?}", a[1]),
+            })?;
+            b.la(rd, addr);
+        }
+        "mv" => {
+            need(2)?;
+            let (rd, rs) = (reg(a[0], line)?, reg(a[1], line)?);
+            b.mv(rd, rs);
+        }
+        "nop" => {
+            need(0)?;
+            b.nop();
+        }
+        "ecall" => {
+            need(0)?;
+            b.push(Instr::Ecall);
+        }
+        "halt" => {
+            need(0)?;
+            b.halt();
+        }
+        other => return err(line, format!("unknown mnemonic {other:?}")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_loop_with_data() {
+        let src = r"
+            # sum a table of doubles
+                    li   t0, 3
+                    la   a0, table
+                    fmv.d.x f2, zero
+            loop:   fld  f1, 0(a0)
+                    fadd.d f2, f2, f1
+                    addi a0, a0, 8
+                    addi t0, t0, -1
+                    bne  t0, zero, loop
+                    halt
+            table:  .double 1.0, 2.5, -3.25
+        ";
+        let p = assemble(src).expect("assembles");
+        assert!(p.text.iter().any(|i| matches!(i, Instr::FaddD { .. })));
+        assert!(p.text.iter().any(|i| matches!(i, Instr::Halt)));
+        assert_eq!(p.data.len(), 24);
+        assert_eq!(
+            &p.data[..8],
+            &1.0f64.to_bits().to_le_bytes(),
+            "first table entry"
+        );
+    }
+
+    #[test]
+    fn reports_unknown_mnemonic_with_line() {
+        let e = assemble("  nop\n  frobnicate a0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn reports_bad_register() {
+        let e = assemble("add q1, t0, t1").unwrap_err();
+        assert!(e.message.contains("bad register"));
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let p = assemble("ld a0, (sp)\nld a1, -16(s0)\nhalt").unwrap();
+        assert_eq!(
+            p.text[0],
+            Instr::Ld {
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                off: 0
+            }
+        );
+        assert_eq!(
+            p.text[1],
+            Instr::Ld {
+                rd: Reg::A1,
+                rs1: Reg::S0,
+                off: -16
+            }
+        );
+    }
+
+    #[test]
+    fn forward_branch_resolves() {
+        let p = assemble("beq zero, zero, end\nnop\nend: halt").unwrap();
+        match p.text[0] {
+            Instr::Beq { off, .. } => assert_eq!(off, 2),
+            ref o => panic!("{o:?}"),
+        }
+    }
+}

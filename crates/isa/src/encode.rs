@@ -1,0 +1,301 @@
+//! Binary instruction encoding (32-bit words, OpenRISC-like layout).
+//!
+//! Layout: opcode in bits `[31:26]`; register fields `rd [25:21]`,
+//! `rs1 [20:16]`, `rs2 [15:11]`; 16-bit immediates in `[15:0]`;
+//! `jal` carries a 21-bit offset in `[20:0]`.
+
+use crate::instr::Instr;
+use crate::reg::{FReg, Reg};
+
+/// An undecodable instruction word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub u32);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const fn op(word: u32) -> u32 {
+    word >> 26
+}
+
+fn rd_of(word: u32) -> Reg {
+    Reg::new(((word >> 21) & 31) as u8)
+}
+fn rs1_of(word: u32) -> Reg {
+    Reg::new(((word >> 16) & 31) as u8)
+}
+fn rs2_of(word: u32) -> Reg {
+    Reg::new(((word >> 11) & 31) as u8)
+}
+fn fd_of(word: u32) -> FReg {
+    FReg::new(((word >> 21) & 31) as u8)
+}
+fn fs1_of(word: u32) -> FReg {
+    FReg::new(((word >> 16) & 31) as u8)
+}
+fn fs2_of(word: u32) -> FReg {
+    FReg::new(((word >> 11) & 31) as u8)
+}
+fn imm_of(word: u32) -> i16 {
+    (word & 0xffff) as u16 as i16
+}
+
+fn enc3(opcode: u32, rd: u8, rs1: u8, rs2: u8) -> u32 {
+    (opcode << 26) | ((rd as u32) << 21) | ((rs1 as u32) << 16) | ((rs2 as u32) << 11)
+}
+
+fn enc_imm(opcode: u32, rd: u8, rs1: u8, imm: i16) -> u32 {
+    (opcode << 26) | ((rd as u32) << 21) | ((rs1 as u32) << 16) | (imm as u16 as u32)
+}
+
+macro_rules! opcodes {
+    ($($name:ident = $val:expr),* $(,)?) => {
+        $(const $name: u32 = $val;)*
+    };
+}
+
+opcodes! {
+    OP_ADD = 0, OP_SUB = 1, OP_AND = 2, OP_OR = 3, OP_XOR = 4, OP_SLL = 5,
+    OP_SRL = 6, OP_SRA = 7, OP_SLT = 8, OP_SLTU = 9, OP_MUL = 10, OP_DIV = 11,
+    OP_REM = 12, OP_ADDI = 13, OP_ANDI = 14, OP_ORI = 15, OP_XORI = 16,
+    OP_SLTI = 17, OP_SLLI = 18, OP_SRLI = 19, OP_SRAI = 20, OP_MOVHI = 21,
+    OP_LD = 22, OP_LW = 23, OP_LWU = 24, OP_LB = 25, OP_LBU = 26, OP_SD = 27,
+    OP_SW = 28, OP_SB = 29, OP_FLD = 30, OP_FLW = 31, OP_FSD = 32, OP_FSW = 33,
+    OP_BEQ = 34, OP_BNE = 35, OP_BLT = 36, OP_BGE = 37, OP_BLTU = 38,
+    OP_BGEU = 39, OP_JAL = 40, OP_JALR = 41, OP_FADD_D = 42, OP_FSUB_D = 43,
+    OP_FMUL_D = 44, OP_FDIV_D = 45, OP_FCVT_DL = 46, OP_FCVT_LD = 47,
+    OP_FADD_S = 48, OP_FSUB_S = 49, OP_FMUL_S = 50, OP_FDIV_S = 51,
+    OP_FCVT_SW = 52, OP_FCVT_WS = 53, OP_FMV_D = 54, OP_FNEG_D = 55,
+    OP_FABS_D = 56, OP_FMV_XD = 57, OP_FMV_DX = 58, OP_FEQ_D = 59,
+    OP_FLT_D = 60, OP_FLE_D = 61, OP_ECALL = 62, OP_HALT = 63,
+}
+
+/// Encode one instruction to its 32-bit word.
+pub fn encode(i: Instr) -> u32 {
+    use Instr::*;
+    match i {
+        Add { rd, rs1, rs2 } => enc3(OP_ADD, rd.num(), rs1.num(), rs2.num()),
+        Sub { rd, rs1, rs2 } => enc3(OP_SUB, rd.num(), rs1.num(), rs2.num()),
+        And { rd, rs1, rs2 } => enc3(OP_AND, rd.num(), rs1.num(), rs2.num()),
+        Or { rd, rs1, rs2 } => enc3(OP_OR, rd.num(), rs1.num(), rs2.num()),
+        Xor { rd, rs1, rs2 } => enc3(OP_XOR, rd.num(), rs1.num(), rs2.num()),
+        Sll { rd, rs1, rs2 } => enc3(OP_SLL, rd.num(), rs1.num(), rs2.num()),
+        Srl { rd, rs1, rs2 } => enc3(OP_SRL, rd.num(), rs1.num(), rs2.num()),
+        Sra { rd, rs1, rs2 } => enc3(OP_SRA, rd.num(), rs1.num(), rs2.num()),
+        Slt { rd, rs1, rs2 } => enc3(OP_SLT, rd.num(), rs1.num(), rs2.num()),
+        Sltu { rd, rs1, rs2 } => enc3(OP_SLTU, rd.num(), rs1.num(), rs2.num()),
+        Mul { rd, rs1, rs2 } => enc3(OP_MUL, rd.num(), rs1.num(), rs2.num()),
+        Div { rd, rs1, rs2 } => enc3(OP_DIV, rd.num(), rs1.num(), rs2.num()),
+        Rem { rd, rs1, rs2 } => enc3(OP_REM, rd.num(), rs1.num(), rs2.num()),
+        Addi { rd, rs1, imm } => enc_imm(OP_ADDI, rd.num(), rs1.num(), imm),
+        Andi { rd, rs1, imm } => enc_imm(OP_ANDI, rd.num(), rs1.num(), imm),
+        Ori { rd, rs1, imm } => enc_imm(OP_ORI, rd.num(), rs1.num(), imm),
+        Xori { rd, rs1, imm } => enc_imm(OP_XORI, rd.num(), rs1.num(), imm),
+        Slti { rd, rs1, imm } => enc_imm(OP_SLTI, rd.num(), rs1.num(), imm),
+        Slli { rd, rs1, shamt } => enc_imm(OP_SLLI, rd.num(), rs1.num(), shamt as i16),
+        Srli { rd, rs1, shamt } => enc_imm(OP_SRLI, rd.num(), rs1.num(), shamt as i16),
+        Srai { rd, rs1, shamt } => enc_imm(OP_SRAI, rd.num(), rs1.num(), shamt as i16),
+        Movhi { rd, imm } => enc_imm(OP_MOVHI, rd.num(), 0, imm as i16),
+        Ld { rd, rs1, off } => enc_imm(OP_LD, rd.num(), rs1.num(), off),
+        Lw { rd, rs1, off } => enc_imm(OP_LW, rd.num(), rs1.num(), off),
+        Lwu { rd, rs1, off } => enc_imm(OP_LWU, rd.num(), rs1.num(), off),
+        Lb { rd, rs1, off } => enc_imm(OP_LB, rd.num(), rs1.num(), off),
+        Lbu { rd, rs1, off } => enc_imm(OP_LBU, rd.num(), rs1.num(), off),
+        Sd { rs2, rs1, off } => enc_imm(OP_SD, rs2.num(), rs1.num(), off),
+        Sw { rs2, rs1, off } => enc_imm(OP_SW, rs2.num(), rs1.num(), off),
+        Sb { rs2, rs1, off } => enc_imm(OP_SB, rs2.num(), rs1.num(), off),
+        Fld { fd, rs1, off } => enc_imm(OP_FLD, fd.num(), rs1.num(), off),
+        Flw { fd, rs1, off } => enc_imm(OP_FLW, fd.num(), rs1.num(), off),
+        Fsd { fs, rs1, off } => enc_imm(OP_FSD, fs.num(), rs1.num(), off),
+        Fsw { fs, rs1, off } => enc_imm(OP_FSW, fs.num(), rs1.num(), off),
+        Beq { rs1, rs2, off } => enc_imm(OP_BEQ, rs1.num(), rs2.num(), off),
+        Bne { rs1, rs2, off } => enc_imm(OP_BNE, rs1.num(), rs2.num(), off),
+        Blt { rs1, rs2, off } => enc_imm(OP_BLT, rs1.num(), rs2.num(), off),
+        Bge { rs1, rs2, off } => enc_imm(OP_BGE, rs1.num(), rs2.num(), off),
+        Bltu { rs1, rs2, off } => enc_imm(OP_BLTU, rs1.num(), rs2.num(), off),
+        Bgeu { rs1, rs2, off } => enc_imm(OP_BGEU, rs1.num(), rs2.num(), off),
+        Jal { rd, off } => {
+            let field = (off as u32) & 0x1f_ffff;
+            assert!(
+                (-(1 << 20)..(1 << 20)).contains(&off),
+                "jal offset out of range"
+            );
+            (OP_JAL << 26) | ((rd.num() as u32) << 21) | field
+        }
+        Jalr { rd, rs1, imm } => enc_imm(OP_JALR, rd.num(), rs1.num(), imm),
+        FaddD { fd, fs1, fs2 } => enc3(OP_FADD_D, fd.num(), fs1.num(), fs2.num()),
+        FsubD { fd, fs1, fs2 } => enc3(OP_FSUB_D, fd.num(), fs1.num(), fs2.num()),
+        FmulD { fd, fs1, fs2 } => enc3(OP_FMUL_D, fd.num(), fs1.num(), fs2.num()),
+        FdivD { fd, fs1, fs2 } => enc3(OP_FDIV_D, fd.num(), fs1.num(), fs2.num()),
+        FcvtDL { fd, rs1 } => enc3(OP_FCVT_DL, fd.num(), rs1.num(), 0),
+        FcvtLD { rd, fs1 } => enc3(OP_FCVT_LD, rd.num(), fs1.num(), 0),
+        FaddS { fd, fs1, fs2 } => enc3(OP_FADD_S, fd.num(), fs1.num(), fs2.num()),
+        FsubS { fd, fs1, fs2 } => enc3(OP_FSUB_S, fd.num(), fs1.num(), fs2.num()),
+        FmulS { fd, fs1, fs2 } => enc3(OP_FMUL_S, fd.num(), fs1.num(), fs2.num()),
+        FdivS { fd, fs1, fs2 } => enc3(OP_FDIV_S, fd.num(), fs1.num(), fs2.num()),
+        FcvtSW { fd, rs1 } => enc3(OP_FCVT_SW, fd.num(), rs1.num(), 0),
+        FcvtWS { rd, fs1 } => enc3(OP_FCVT_WS, rd.num(), fs1.num(), 0),
+        FmvD { fd, fs1 } => enc3(OP_FMV_D, fd.num(), fs1.num(), 0),
+        FnegD { fd, fs1 } => enc3(OP_FNEG_D, fd.num(), fs1.num(), 0),
+        FabsD { fd, fs1 } => enc3(OP_FABS_D, fd.num(), fs1.num(), 0),
+        FmvXD { rd, fs1 } => enc3(OP_FMV_XD, rd.num(), fs1.num(), 0),
+        FmvDX { fd, rs1 } => enc3(OP_FMV_DX, fd.num(), rs1.num(), 0),
+        FeqD { rd, fs1, fs2 } => enc3(OP_FEQ_D, rd.num(), fs1.num(), fs2.num()),
+        FltD { rd, fs1, fs2 } => enc3(OP_FLT_D, rd.num(), fs1.num(), fs2.num()),
+        FleD { rd, fs1, fs2 } => enc3(OP_FLE_D, rd.num(), fs1.num(), fs2.num()),
+        Ecall => OP_ECALL << 26,
+        Halt => OP_HALT << 26,
+    }
+}
+
+/// Decode a 32-bit word back to an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for words whose opcode or fields are invalid
+/// (in this encoding, only out-of-range shift amounts qualify, since all
+/// 64 opcodes are assigned).
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let (rd, rs1, rs2) = (rd_of(word), rs1_of(word), rs2_of(word));
+    let (fd, fs1, fs2) = (fd_of(word), fs1_of(word), fs2_of(word));
+    let imm = imm_of(word);
+    let shamt = (word & 0x3f) as u8;
+    let shamt_ok = (word & 0xffff) < 64;
+    Ok(match op(word) {
+        OP_ADD => Add { rd, rs1, rs2 },
+        OP_SUB => Sub { rd, rs1, rs2 },
+        OP_AND => And { rd, rs1, rs2 },
+        OP_OR => Or { rd, rs1, rs2 },
+        OP_XOR => Xor { rd, rs1, rs2 },
+        OP_SLL => Sll { rd, rs1, rs2 },
+        OP_SRL => Srl { rd, rs1, rs2 },
+        OP_SRA => Sra { rd, rs1, rs2 },
+        OP_SLT => Slt { rd, rs1, rs2 },
+        OP_SLTU => Sltu { rd, rs1, rs2 },
+        OP_MUL => Mul { rd, rs1, rs2 },
+        OP_DIV => Div { rd, rs1, rs2 },
+        OP_REM => Rem { rd, rs1, rs2 },
+        OP_ADDI => Addi { rd, rs1, imm },
+        OP_ANDI => Andi { rd, rs1, imm },
+        OP_ORI => Ori { rd, rs1, imm },
+        OP_XORI => Xori { rd, rs1, imm },
+        OP_SLTI => Slti { rd, rs1, imm },
+        OP_SLLI if shamt_ok => Slli { rd, rs1, shamt },
+        OP_SRLI if shamt_ok => Srli { rd, rs1, shamt },
+        OP_SRAI if shamt_ok => Srai { rd, rs1, shamt },
+        OP_MOVHI => Movhi {
+            rd,
+            imm: imm as u16,
+        },
+        OP_LD => Ld { rd, rs1, off: imm },
+        OP_LW => Lw { rd, rs1, off: imm },
+        OP_LWU => Lwu { rd, rs1, off: imm },
+        OP_LB => Lb { rd, rs1, off: imm },
+        OP_LBU => Lbu { rd, rs1, off: imm },
+        OP_SD => Sd { rs2: rd, rs1, off: imm },
+        OP_SW => Sw { rs2: rd, rs1, off: imm },
+        OP_SB => Sb { rs2: rd, rs1, off: imm },
+        OP_FLD => Fld { fd, rs1, off: imm },
+        OP_FLW => Flw { fd, rs1, off: imm },
+        OP_FSD => Fsd { fs: fd, rs1, off: imm },
+        OP_FSW => Fsw { fs: fd, rs1, off: imm },
+        OP_BEQ => Beq { rs1: rd, rs2: rs1, off: imm },
+        OP_BNE => Bne { rs1: rd, rs2: rs1, off: imm },
+        OP_BLT => Blt { rs1: rd, rs2: rs1, off: imm },
+        OP_BGE => Bge { rs1: rd, rs2: rs1, off: imm },
+        OP_BLTU => Bltu { rs1: rd, rs2: rs1, off: imm },
+        OP_BGEU => Bgeu { rs1: rd, rs2: rs1, off: imm },
+        OP_JAL => {
+            let raw = word & 0x1f_ffff;
+            // Sign-extend the 21-bit field.
+            let off = ((raw << 11) as i32) >> 11;
+            Jal { rd, off }
+        }
+        OP_JALR => Jalr { rd, rs1, imm },
+        OP_FADD_D => FaddD { fd, fs1, fs2 },
+        OP_FSUB_D => FsubD { fd, fs1, fs2 },
+        OP_FMUL_D => FmulD { fd, fs1, fs2 },
+        OP_FDIV_D => FdivD { fd, fs1, fs2 },
+        OP_FCVT_DL => FcvtDL { fd, rs1 },
+        OP_FCVT_LD => FcvtLD { rd, fs1 },
+        OP_FADD_S => FaddS { fd, fs1, fs2 },
+        OP_FSUB_S => FsubS { fd, fs1, fs2 },
+        OP_FMUL_S => FmulS { fd, fs1, fs2 },
+        OP_FDIV_S => FdivS { fd, fs1, fs2 },
+        OP_FCVT_SW => FcvtSW { fd, rs1 },
+        OP_FCVT_WS => FcvtWS { rd, fs1 },
+        OP_FMV_D => FmvD { fd, fs1 },
+        OP_FNEG_D => FnegD { fd, fs1 },
+        OP_FABS_D => FabsD { fd, fs1 },
+        OP_FMV_XD => FmvXD { rd, fs1 },
+        OP_FMV_DX => FmvDX { fd, rs1 },
+        OP_FEQ_D => FeqD { rd, fs1, fs2 },
+        OP_FLT_D => FltD { rd, fs1, fs2 },
+        OP_FLE_D => FleD { rd, fs1, fs2 },
+        OP_ECALL => Ecall,
+        OP_HALT => Halt,
+        _ => return Err(DecodeError(word)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn representative_roundtrips() {
+        let r = Reg::A3;
+        let r2 = Reg::T1;
+        let fr = FReg::new(7);
+        let fr2 = FReg::new(30);
+        let samples = [
+            Instr::Add { rd: r, rs1: r2, rs2: Reg::S5 },
+            Instr::Addi { rd: r, rs1: r2, imm: -1234 },
+            Instr::Movhi { rd: r, imm: 0xbeef },
+            Instr::Slli { rd: r, rs1: r2, shamt: 63 },
+            Instr::Ld { rd: r, rs1: r2, off: -8 },
+            Instr::Sd { rs2: r, rs1: r2, off: 4096 },
+            Instr::Fld { fd: fr, rs1: r2, off: 16 },
+            Instr::Fsw { fs: fr2, rs1: r2, off: -2 },
+            Instr::Beq { rs1: r, rs2: r2, off: -100 },
+            Instr::Jal { rd: Reg::RA, off: -123456 },
+            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 },
+            Instr::FmulD { fd: fr, fs1: fr2, fs2: FReg::new(15) },
+            Instr::FcvtLD { rd: r, fs1: fr },
+            Instr::FeqD { rd: r, fs1: fr, fs2: fr2 },
+            Instr::Ecall,
+            Instr::Halt,
+        ];
+        for i in samples {
+            let w = encode(i);
+            assert_eq!(decode(w), Ok(i), "{i}");
+        }
+    }
+
+    #[test]
+    fn invalid_shift_amount_rejected() {
+        let w = encode(Instr::Slli {
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            shamt: 0,
+        }) | 0x40; // force shamt field to 64
+        assert!(decode(w).is_err());
+    }
+
+    #[test]
+    fn jal_offset_sign_extension() {
+        for off in [-(1 << 20), -1, 0, 1, (1 << 20) - 1] {
+            let w = encode(Instr::Jal { rd: Reg::RA, off });
+            match decode(w).unwrap() {
+                Instr::Jal { off: d, .. } => assert_eq!(d, off),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # tei-isa
+//!
+//! The instruction set of the simulated core: a RISC-style 64-bit ISA
+//! carrying exactly the twelve floating-point operations the paper models,
+//! with a binary encoding, a text assembler, and a programmatic builder API
+//! the benchmark kernels are written in.
+//!
+//! ## Example
+//!
+//! ```
+//! use tei_isa::{assemble, encode, decode};
+//!
+//! let p = assemble("li a0, 42\nhalt").expect("valid assembly");
+//! assert_eq!(p.len(), 2);
+//! let word = encode(p.text[0]);
+//! assert_eq!(decode(word).unwrap(), p.text[0]);
+//! ```
+
+mod asm;
+mod builder;
+mod encode;
+mod instr;
+mod program;
+mod reg;
+
+pub use asm::{assemble, AsmError};
+pub use builder::{Label, ProgramBuilder};
+pub use encode::{decode, encode, DecodeError};
+pub use instr::Instr;
+pub use program::{Program, Syscall, DATA_BASE, DEFAULT_MEM_BYTES, STACK_TOP};
+pub use reg::{FReg, Reg};

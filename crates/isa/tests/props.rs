@@ -1,0 +1,64 @@
+//! Property tests: encode/decode roundtrip over randomly generated
+//! instructions of every class.
+
+use proptest::prelude::*;
+use tei_isa::{decode, encode, FReg, Instr, Reg};
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn any_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg::new)
+}
+
+fn any_instr() -> impl Strategy<Value = Instr> {
+    let r = any_reg;
+    let f = any_freg;
+    prop_oneof![
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Add { rd, rs1, rs2 }),
+        (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Instr::Mul { rd, rs1, rs2 }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+        (r(), r(), 0u8..64).prop_map(|(rd, rs1, shamt)| Instr::Slli { rd, rs1, shamt }),
+        (r(), any::<u16>()).prop_map(|(rd, imm)| Instr::Movhi { rd, imm }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, off)| Instr::Ld { rd, rs1, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rs2, rs1, off)| Instr::Sd { rs2, rs1, off }),
+        (f(), r(), any::<i16>()).prop_map(|(fd, rs1, off)| Instr::Fld { fd, rs1, off }),
+        (f(), r(), any::<i16>()).prop_map(|(fs, rs1, off)| Instr::Fsd { fs, rs1, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rs1, rs2, off)| Instr::Blt { rs1, rs2, off }),
+        (r(), -(1i32 << 20)..(1 << 20)).prop_map(|(rd, off)| Instr::Jal { rd, off }),
+        (r(), r(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Jalr { rd, rs1, imm }),
+        (f(), f(), f()).prop_map(|(fd, fs1, fs2)| Instr::FmulD { fd, fs1, fs2 }),
+        (f(), f(), f()).prop_map(|(fd, fs1, fs2)| Instr::FsubS { fd, fs1, fs2 }),
+        (f(), r()).prop_map(|(fd, rs1)| Instr::FcvtDL { fd, rs1 }),
+        (r(), f()).prop_map(|(rd, fs1)| Instr::FcvtWS { rd, fs1 }),
+        (r(), f(), f()).prop_map(|(rd, fs1, fs2)| Instr::FleD { rd, fs1, fs2 }),
+        (f(), r()).prop_map(|(fd, rs1)| Instr::FmvDX { fd, rs1 }),
+        Just(Instr::Ecall),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn prop_encode_decode_roundtrip(i in any_instr()) {
+        let w = encode(i);
+        prop_assert_eq!(decode(w), Ok(i));
+    }
+
+    #[test]
+    fn prop_display_reassembles(i in any_instr()) {
+        // Every displayable instruction (except raw-offset branches, which
+        // the assembler expresses via labels) must reassemble from its own
+        // disassembly.
+        let skip = i.is_control();
+        if !skip {
+            let src = format!("{i}\nhalt");
+            let p = tei_isa::assemble(&src)
+                .unwrap_or_else(|e| panic!("{i} did not reassemble: {e}"));
+            prop_assert_eq!(p.text[0], i);
+        }
+    }
+}

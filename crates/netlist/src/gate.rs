@@ -1,0 +1,189 @@
+//! Primitive gate kinds and single-gate evaluation.
+
+use crate::netlist::NetId;
+use serde::{Deserialize, Serialize};
+
+/// Primitive combinational cell kinds.
+///
+/// Each kind has a fixed arity (number of input pins). [`GateKind::Mux2`]
+/// evaluates pin order `[sel, a, b]` to `if sel { b } else { a }`;
+/// [`GateKind::Maj3`] is the three-input majority function (a full adder's
+/// carry).
+///
+/// ```
+/// use tei_netlist::GateKind;
+/// assert_eq!(GateKind::Maj3.arity(), 3);
+/// assert!(GateKind::Xor2.eval(true, false, false));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Primary input pin (no fanin; value supplied by the testbench).
+    Input,
+    /// Constant logic 0.
+    Const0,
+    /// Constant logic 1.
+    Const1,
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer, pins `[sel, a, b]`, output `sel ? b : a`.
+    Mux2,
+    /// 3-input majority (full-adder carry).
+    Maj3,
+}
+
+impl GateKind {
+    /// Number of input pins this cell kind reads.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            GateKind::And2
+            | GateKind::Or2
+            | GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2 => 2,
+            GateKind::Mux2 | GateKind::Maj3 => 3,
+        }
+    }
+
+    /// Evaluate the cell function. Unused pins are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`GateKind::Input`], which has no function.
+    #[inline]
+    pub fn eval(self, a: bool, b: bool, c: bool) -> bool {
+        match self {
+            GateKind::Input => panic!("primary inputs have no logic function"),
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Buf => a,
+            GateKind::Not => !a,
+            GateKind::And2 => a && b,
+            GateKind::Or2 => a || b,
+            GateKind::Nand2 => !(a && b),
+            GateKind::Nor2 => !(a || b),
+            GateKind::Xor2 => a ^ b,
+            GateKind::Xnor2 => !(a ^ b),
+            // pins [sel, a, b]
+            GateKind::Mux2 => {
+                if a {
+                    c
+                } else {
+                    b
+                }
+            }
+            // Canonical majority form (clippy would rewrite it opaquely).
+            #[allow(clippy::nonminimal_bool)]
+            GateKind::Maj3 => (a && b) || (a && c) || (b && c),
+        }
+    }
+
+    /// All evaluable (non-input) kinds, useful for exhaustive tests.
+    pub fn all_logic() -> &'static [GateKind] {
+        &[
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Mux2,
+            GateKind::Maj3,
+        ]
+    }
+}
+
+/// One instantiated cell. The gate at index `i` of a netlist drives net `i`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Gate {
+    /// Cell kind.
+    pub kind: GateKind,
+    /// Input pins; only the first [`GateKind::arity`] entries are meaningful.
+    pub pins: [NetId; 3],
+    /// Propagation delay in nanoseconds at the nominal corner.
+    pub delay: f64,
+    /// Functional block / pipeline stage this gate belongs to.
+    pub block: crate::netlist::BlockId,
+}
+
+impl Gate {
+    /// The meaningful input pins of this gate.
+    #[inline]
+    pub fn fanin(&self) -> &[NetId] {
+        &self.pins[..self.kind.arity()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_eval_sensitivity() {
+        // Gates must not depend on pins beyond their arity.
+        for &kind in GateKind::all_logic() {
+            let ar = kind.arity();
+            for bits in 0u8..8 {
+                let a = bits & 1 != 0;
+                let b = bits & 2 != 0;
+                let c = bits & 4 != 0;
+                let base = kind.eval(a, b, c);
+                if ar < 3 {
+                    assert_eq!(base, kind.eval(a, b, !c), "{kind:?} reads pin 2");
+                }
+                if ar < 2 {
+                    assert_eq!(base, kind.eval(a, !b, c), "{kind:?} reads pin 1");
+                }
+                if ar < 1 {
+                    assert_eq!(base, kind.eval(!a, b, c), "{kind:?} reads pin 0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truth_tables() {
+        use GateKind::*;
+        assert!(!And2.eval(true, false, false));
+        assert!(And2.eval(true, true, false));
+        assert!(Or2.eval(true, false, false));
+        assert!(!Nor2.eval(true, false, false));
+        assert!(Nand2.eval(true, false, false));
+        assert!(Xor2.eval(true, false, false));
+        assert!(!Xor2.eval(true, true, false));
+        assert!(Xnor2.eval(true, true, false));
+        // Mux2: pins [sel, a, b]
+        assert!(!Mux2.eval(false, false, true), "sel=0 picks a");
+        assert!(Mux2.eval(true, false, true), "sel=1 picks b");
+        // Maj3
+        assert!(Maj3.eval(true, true, false));
+        assert!(!Maj3.eval(true, false, false));
+        assert!(Maj3.eval(true, true, true));
+    }
+
+    #[test]
+    #[should_panic(expected = "no logic function")]
+    fn input_eval_panics() {
+        GateKind::Input.eval(false, false, false);
+    }
+}

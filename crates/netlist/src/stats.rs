@@ -1,0 +1,107 @@
+//! Netlist size and composition statistics.
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Gate counts for one functional block.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockStats {
+    /// Block name.
+    pub name: String,
+    /// Total gates attributed to this block (excluding primary inputs).
+    pub gates: usize,
+}
+
+/// Summary statistics over a whole netlist.
+///
+/// ```
+/// use tei_netlist::{Netlist, CellLibrary, NetlistStats};
+/// let mut nl = Netlist::new("x", CellLibrary::unit());
+/// let a = nl.add_input_bus("a", 2);
+/// let y = nl.and(a[0], a[1]);
+/// nl.mark_output_bus("y", &[y]);
+/// let stats = NetlistStats::of(&nl);
+/// assert_eq!(stats.inputs, 2);
+/// assert_eq!(stats.logic_gates, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Design name.
+    pub name: String,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Output net count.
+    pub outputs: usize,
+    /// Logic gate count (everything except inputs and constants).
+    pub logic_gates: usize,
+    /// Gates per kind.
+    pub by_kind: BTreeMap<String, usize>,
+    /// Gates per block.
+    pub by_block: Vec<BlockStats>,
+}
+
+impl NetlistStats {
+    /// Compute statistics for `nl`.
+    pub fn of(nl: &Netlist) -> Self {
+        let mut by_kind: BTreeMap<String, usize> = BTreeMap::new();
+        let mut per_block = vec![0usize; nl.block_names().len()];
+        let mut logic = 0usize;
+        for g in nl.gates() {
+            match g.kind {
+                GateKind::Input | GateKind::Const0 | GateKind::Const1 => continue,
+                kind => {
+                    *by_kind.entry(format!("{kind:?}")).or_default() += 1;
+                    per_block[g.block.index()] += 1;
+                    logic += 1;
+                }
+            }
+        }
+        NetlistStats {
+            name: nl.name().to_string(),
+            inputs: nl.inputs().len(),
+            outputs: nl.output_nets().len(),
+            logic_gates: logic,
+            by_kind,
+            by_block: nl
+                .block_names()
+                .iter()
+                .zip(per_block)
+                .map(|(name, gates)| BlockStats {
+                    name: name.clone(),
+                    gates,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::CellLibrary;
+
+    #[test]
+    fn counts_by_block_and_kind() {
+        let mut nl = Netlist::new("s", CellLibrary::unit());
+        let a = nl.add_input_bus("a", 4);
+        nl.begin_block("alpha");
+        let x = nl.and(a[0], a[1]);
+        let _ = nl.or(x, a[2]);
+        nl.begin_block("beta");
+        let n = nl.not(a[3]);
+        nl.mark_output_bus("o", &[n]);
+        let s = NetlistStats::of(&nl);
+        assert_eq!(s.inputs, 4);
+        assert_eq!(s.outputs, 1);
+        assert_eq!(s.logic_gates, 3);
+        assert_eq!(s.by_kind["And2"], 1);
+        assert_eq!(s.by_kind["Or2"], 1);
+        assert_eq!(s.by_kind["Not"], 1);
+        let alpha = s.by_block.iter().find(|b| b.name == "alpha").unwrap();
+        assert_eq!(alpha.gates, 2);
+        let beta = s.by_block.iter().find(|b| b.name == "beta").unwrap();
+        assert_eq!(beta.gates, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests: every datapath builder must agree with integer
+//! arithmetic on random operands and widths.
+
+use proptest::prelude::*;
+use tei_netlist::{bus_value_u128, bus_value_u64, CellLibrary, Netlist};
+
+fn to_bits(x: u64, w: usize) -> Vec<bool> {
+    (0..w).map(|i| (x >> i) & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_adder(w in 1usize..20, a in any::<u64>(), b in any::<u64>(), cin in any::<bool>()) {
+        let mask = if w == 64 { u64::MAX } else { (1 << w) - 1 };
+        let (a, b) = (a & mask, b & mask);
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let ab = nl.add_input_bus("a", w);
+        let bb = nl.add_input_bus("b", w);
+        let c = nl.const_bit(cin);
+        let (sum, cout) = nl.ripple_add(&ab, &bb, c);
+        let mut bits = to_bits(a, w);
+        bits.extend(to_bits(b, w));
+        let v = nl.eval(&bits);
+        let full = a as u128 + b as u128 + cin as u128;
+        prop_assert_eq!(bus_value_u64(&v, &sum), (full as u64) & mask);
+        prop_assert_eq!(v[cout.index()] as u128, full >> w);
+    }
+
+    #[test]
+    fn prop_multiplier(wa in 1usize..12, wb in 1usize..12, a in any::<u64>(), b in any::<u64>()) {
+        let ma = (1u64 << wa) - 1;
+        let mb = (1u64 << wb) - 1;
+        let (a, b) = (a & ma, b & mb);
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let ab = nl.add_input_bus("a", wa);
+        let bb = nl.add_input_bus("b", wb);
+        let p = nl.array_multiplier(&ab, &bb);
+        let mut bits = to_bits(a, wa);
+        bits.extend(to_bits(b, wb));
+        let v = nl.eval(&bits);
+        prop_assert_eq!(bus_value_u128(&v, &p), (a as u128) * (b as u128));
+    }
+
+    #[test]
+    fn prop_divider(wn in 2usize..14, wd in 1usize..8, n in any::<u64>(), d in any::<u64>()) {
+        let n = n & ((1 << wn) - 1);
+        let d = (d & ((1 << wd) - 1)).max(1);
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let nb = nl.add_input_bus("n", wn);
+        let db = nl.add_input_bus("d", wd);
+        let (q, r) = nl.nonrestoring_divider(&nb, &db);
+        let mut bits = to_bits(n, wn);
+        bits.extend(to_bits(d, wd));
+        let v = nl.eval(&bits);
+        prop_assert_eq!(bus_value_u64(&v, &q), n / d, "{}/{} quotient", n, d);
+        prop_assert_eq!(bus_value_u64(&v, &r), n % d, "{}%{} remainder", n, d);
+    }
+
+    #[test]
+    fn prop_shifts(w in 1usize..24, x in any::<u64>(), s in 0u64..32) {
+        let mask = (1u64 << w) - 1;
+        let x = x & mask;
+        let amt_w = 6;
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let xb = nl.add_input_bus("x", w);
+        let sb = nl.add_input_bus("s", amt_w);
+        let zero = nl.const_bit(false);
+        let (right, sticky) = nl.barrel_shift_right_sticky(&xb, &sb, zero);
+        let left = nl.barrel_shift_left(&xb, &sb);
+        let mut bits = to_bits(x, w);
+        bits.extend(to_bits(s, amt_w));
+        let v = nl.eval(&bits);
+        let er = if s as usize >= w { 0 } else { x >> s };
+        let el = if s as usize >= w { 0 } else { (x << s) & mask };
+        let es = x & ((1u64 << s.min(63)).wrapping_sub(1)) != 0;
+        prop_assert_eq!(bus_value_u64(&v, &right), er);
+        prop_assert_eq!(bus_value_u64(&v, &left), el);
+        prop_assert_eq!(v[sticky.index()], es);
+    }
+
+    #[test]
+    fn prop_lzc_popcount(w in 1usize..33, x in any::<u64>()) {
+        let mask = (1u64 << w) - 1;
+        let x = x & mask;
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let xb = nl.add_input_bus("x", w);
+        let lzc = nl.leading_zero_count(&xb);
+        let pc = nl.popcount(&xb);
+        let v = nl.eval(&to_bits(x, w));
+        let expect_lzc = if x == 0 { w as u64 } else { w as u64 - (64 - x.leading_zeros() as u64) };
+        prop_assert_eq!(bus_value_u64(&v, &lzc), expect_lzc);
+        prop_assert_eq!(bus_value_u64(&v, &pc), x.count_ones() as u64);
+    }
+
+    #[test]
+    fn prop_compare_and_negate(w in 1usize..16, a in any::<u64>(), b in any::<u64>()) {
+        let mask = (1u64 << w) - 1;
+        let (a, b) = (a & mask, b & mask);
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let ab = nl.add_input_bus("a", w);
+        let bb = nl.add_input_bus("b", w);
+        let lt = nl.ult(&ab, &bb);
+        let eq = nl.eq_bus(&ab, &bb);
+        let neg = nl.negate(&ab);
+        let mut bits = to_bits(a, w);
+        bits.extend(to_bits(b, w));
+        let v = nl.eval(&bits);
+        prop_assert_eq!(v[lt.index()], a < b);
+        prop_assert_eq!(v[eq.index()], a == b);
+        prop_assert_eq!(bus_value_u64(&v, &neg), a.wrapping_neg() & mask);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_preloaded_divider(wd in 2usize..8, wl in 1usize..10, h in any::<u64>(), l in any::<u64>(), d in any::<u64>()) {
+        let d = (d & ((1 << wd) - 1)).max(1);
+        let h = h % d; // preload must be < divisor
+        let l = l & ((1 << wl) - 1);
+        let wh = wd; // high bus width (values constrained < d)
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let hb = nl.add_input_bus("h", wh);
+        let lb = nl.add_input_bus("l", wl);
+        let db = nl.add_input_bus("d", wd);
+        let (q, r) = nl.nonrestoring_divider_preloaded(&hb, &lb, &db);
+        let mut bits = to_bits(h, wh);
+        bits.extend(to_bits(l, wl));
+        bits.extend(to_bits(d, wd));
+        let v = nl.eval(&bits);
+        let n = (h << wl) | l;
+        prop_assert_eq!(bus_value_u64(&v, &q) , (n / d) & ((1 << wl) - 1), "{}/{} q", n, d);
+        prop_assert_eq!(bus_value_u64(&v, &r), n % d, "{}%{} r", n, d);
+    }
+}

@@ -1,0 +1,472 @@
+//! IEEE-754 add/sub/mul/div with round-to-nearest-even.
+
+use crate::{Flags, Format, FpuConfig};
+
+/// Right shift with the shifted-out bits ORed into bit 0 (sticky).
+#[inline]
+pub(crate) fn shr_sticky64(x: u64, n: u32) -> u64 {
+    if n == 0 {
+        x
+    } else if n >= 64 {
+        (x != 0) as u64
+    } else {
+        (x >> n) | ((x & ((1u64 << n) - 1) != 0) as u64)
+    }
+}
+
+#[inline]
+fn shr_sticky128(x: u128, n: u32) -> u128 {
+    if n == 0 {
+        x
+    } else if n >= 128 {
+        (x != 0) as u128
+    } else {
+        (x >> n) | ((x & ((1u128 << n) - 1) != 0) as u128)
+    }
+}
+
+/// Flush a subnormal operand to a same-signed zero in FTZ mode.
+fn ftz_in(fmt: Format, bits: u64, cfg: FpuConfig) -> u64 {
+    if cfg.ftz && fmt.is_subnormal(bits) {
+        fmt.zero(fmt.sign_of(bits))
+    } else {
+        bits
+    }
+}
+
+/// Round and pack a result.
+///
+/// `sig` carries the significand with three extra low bits (guard, round,
+/// sticky): for a normal result it lies in `[2^(f+3), 2^(f+4))` where `f`
+/// is the fraction width. `e` is the candidate biased exponent; values
+/// `e <= 0` take the subnormal path. Tininess is detected before rounding.
+pub(crate) fn round_pack(
+    fmt: Format,
+    cfg: FpuConfig,
+    flags: &mut Flags,
+    sign: bool,
+    mut e: i32,
+    mut sig: u64,
+) -> u64 {
+    let f = fmt.frac_bits;
+    debug_assert!(sig < (1u64 << (f + 4)), "significand overflow before pack");
+    let subnormal = e <= 0;
+    if subnormal {
+        if cfg.ftz {
+            flags.underflow = true;
+            if sig != 0 {
+                flags.inexact = true;
+            }
+            return fmt.zero(sign);
+        }
+        let shift = 1 - e; // >= 1
+        sig = shr_sticky64(sig, shift.min(64) as u32);
+        e = 1; // provisional; re-derived from the significand below
+    }
+    let round_bits = sig & 7;
+    sig >>= 3;
+    if round_bits > 4 || (round_bits == 4 && sig & 1 == 1) {
+        sig += 1;
+    }
+    if round_bits != 0 {
+        flags.inexact = true;
+        if subnormal {
+            flags.underflow = true;
+        }
+    }
+    if subnormal {
+        return if sig >> f == 1 {
+            // Rounded up into the smallest normal binade.
+            fmt.pack(sign, 1, sig & ((1u64 << f) - 1))
+        } else {
+            fmt.pack(sign, 0, sig)
+        };
+    }
+    if sig >> (f + 1) == 1 {
+        sig >>= 1; // carry out of rounding; dropped bit is zero
+        e += 1;
+    }
+    if e >= fmt.max_exp() as i32 {
+        flags.overflow = true;
+        flags.inexact = true;
+        return fmt.infinity(sign);
+    }
+    fmt.pack(sign, e as u32, sig & ((1u64 << f) - 1))
+}
+
+/// Unpack a finite non-zero value to `(effective biased exponent, sig)`
+/// with `sig` normalized into `[2^f, 2^(f+1))`. Subnormals get `e <= 0`.
+fn unpack_norm(fmt: Format, bits: u64) -> (i32, u64) {
+    let f = fmt.frac_bits;
+    let exp = fmt.exp_of(bits);
+    let frac = fmt.frac_of(bits);
+    if exp == 0 {
+        debug_assert!(frac != 0, "zero must be handled by the caller");
+        let mut e = 1i32;
+        let mut sig = frac;
+        while sig >> f == 0 {
+            sig <<= 1;
+            e -= 1;
+        }
+        (e, sig)
+    } else {
+        (exp as i32, frac | (1u64 << f))
+    }
+}
+
+fn propagate_nan(fmt: Format, a: u64, b: u64, flags: &mut Flags) -> u64 {
+    if fmt.is_snan(a) || fmt.is_snan(b) {
+        flags.invalid = true;
+    }
+    fmt.quiet_nan()
+}
+
+/// IEEE-754 addition (`a + b`), round-to-nearest-even.
+pub fn add(fmt: Format, a: u64, b: u64, cfg: FpuConfig, flags: &mut Flags) -> u64 {
+    let a = ftz_in(fmt, a, cfg);
+    let b = ftz_in(fmt, b, cfg);
+    let (sa, sb) = (fmt.sign_of(a), fmt.sign_of(b));
+    if fmt.is_nan(a) || fmt.is_nan(b) {
+        return propagate_nan(fmt, a, b, flags);
+    }
+    if fmt.is_inf(a) {
+        if fmt.is_inf(b) && sa != sb {
+            flags.invalid = true;
+            return fmt.quiet_nan();
+        }
+        return fmt.infinity(sa);
+    }
+    if fmt.is_inf(b) {
+        return fmt.infinity(sb);
+    }
+    if fmt.is_zero(a) && fmt.is_zero(b) {
+        // +0 unless both operands are -0 (round-to-nearest rules).
+        return fmt.zero(sa && sb);
+    }
+    if fmt.is_zero(a) {
+        return b;
+    }
+    if fmt.is_zero(b) {
+        return a;
+    }
+
+    let f = fmt.frac_bits;
+    let (ea, siga) = unpack_norm(fmt, a);
+    let (eb, sigb) = unpack_norm(fmt, b);
+    let (sign_big, e_big, sig_big, sign_small, sig_small, diff) =
+        if (ea, siga) >= (eb, sigb) {
+            (sa, ea, siga << 3, sb, sigb << 3, (ea - eb) as u32)
+        } else {
+            (sb, eb, sigb << 3, sa, siga << 3, (eb - ea) as u32)
+        };
+    let small = shr_sticky64(sig_small, diff);
+    let (mut sum, sign) = if sign_big == sign_small {
+        (sig_big + small, sign_big)
+    } else {
+        let d = sig_big - small;
+        if d == 0 {
+            return fmt.zero(false); // exact cancellation → +0
+        }
+        (d, sign_big)
+    };
+    let mut e = e_big;
+    // Normalize: one possible right shift (carry), any left shifts
+    // (cancellation).
+    if sum >> (f + 4) == 1 {
+        sum = shr_sticky64(sum, 1);
+        e += 1;
+    }
+    while sum >> (f + 3) == 0 {
+        sum <<= 1;
+        e -= 1;
+    }
+    round_pack(fmt, cfg, flags, sign, e, sum)
+}
+
+/// IEEE-754 subtraction (`a - b`), round-to-nearest-even.
+pub fn sub(fmt: Format, a: u64, b: u64, cfg: FpuConfig, flags: &mut Flags) -> u64 {
+    let flipped = b ^ (1u64 << (fmt.width() - 1));
+    add(fmt, a, flipped, cfg, flags)
+}
+
+/// IEEE-754 multiplication, round-to-nearest-even.
+pub fn mul(fmt: Format, a: u64, b: u64, cfg: FpuConfig, flags: &mut Flags) -> u64 {
+    let a = ftz_in(fmt, a, cfg);
+    let b = ftz_in(fmt, b, cfg);
+    let (sa, sb) = (fmt.sign_of(a), fmt.sign_of(b));
+    let sign = sa ^ sb;
+    if fmt.is_nan(a) || fmt.is_nan(b) {
+        return propagate_nan(fmt, a, b, flags);
+    }
+    if (fmt.is_inf(a) && fmt.is_zero(b)) || (fmt.is_zero(a) && fmt.is_inf(b)) {
+        flags.invalid = true;
+        return fmt.quiet_nan();
+    }
+    if fmt.is_inf(a) || fmt.is_inf(b) {
+        return fmt.infinity(sign);
+    }
+    if fmt.is_zero(a) || fmt.is_zero(b) {
+        return fmt.zero(sign);
+    }
+
+    let f = fmt.frac_bits;
+    let (ea, siga) = unpack_norm(fmt, a);
+    let (eb, sigb) = unpack_norm(fmt, b);
+    let mut e = ea + eb - fmt.bias();
+    let p = (siga as u128) * (sigb as u128);
+    let m = if p >> (2 * f + 1) == 1 {
+        e += 1;
+        shr_sticky128(p, f - 2) as u64
+    } else {
+        shr_sticky128(p, f - 3) as u64
+    };
+    round_pack(fmt, cfg, flags, sign, e, m)
+}
+
+/// IEEE-754 division, round-to-nearest-even.
+pub fn div(fmt: Format, a: u64, b: u64, cfg: FpuConfig, flags: &mut Flags) -> u64 {
+    let a = ftz_in(fmt, a, cfg);
+    let b = ftz_in(fmt, b, cfg);
+    let (sa, sb) = (fmt.sign_of(a), fmt.sign_of(b));
+    let sign = sa ^ sb;
+    if fmt.is_nan(a) || fmt.is_nan(b) {
+        return propagate_nan(fmt, a, b, flags);
+    }
+    if fmt.is_inf(a) && fmt.is_inf(b) {
+        flags.invalid = true;
+        return fmt.quiet_nan();
+    }
+    if fmt.is_zero(a) && fmt.is_zero(b) {
+        flags.invalid = true;
+        return fmt.quiet_nan();
+    }
+    if fmt.is_inf(a) {
+        return fmt.infinity(sign);
+    }
+    if fmt.is_inf(b) || fmt.is_zero(a) {
+        return fmt.zero(sign);
+    }
+    if fmt.is_zero(b) {
+        flags.div_by_zero = true;
+        return fmt.infinity(sign);
+    }
+
+    let f = fmt.frac_bits;
+    let (ea, siga) = unpack_norm(fmt, a);
+    let (eb, sigb) = unpack_norm(fmt, b);
+    let mut e = ea - eb + fmt.bias();
+    let n = (siga as u128) << (f + 4);
+    let q = (n / sigb as u128) as u64;
+    let sticky = u64::from(!n.is_multiple_of(sigb as u128));
+    let m = if q >> (f + 4) == 1 {
+        shr_sticky64(q, 1) | sticky
+    } else {
+        e -= 1;
+        q | sticky
+    };
+    round_pack(fmt, cfg, flags, sign, e, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Format;
+
+    fn f64_op(
+        op: fn(Format, u64, u64, FpuConfig, &mut Flags) -> u64,
+        a: f64,
+        b: f64,
+    ) -> (f64, Flags) {
+        let mut flags = Flags::default();
+        let r = op(
+            Format::F64,
+            a.to_bits(),
+            b.to_bits(),
+            FpuConfig::default(),
+            &mut flags,
+        );
+        (f64::from_bits(r), flags)
+    }
+
+    fn check64(op: fn(Format, u64, u64, FpuConfig, &mut Flags) -> u64, native: fn(f64, f64) -> f64, a: f64, b: f64) {
+        let (r, _) = f64_op(op, a, b);
+        let expect = native(a, b);
+        if expect.is_nan() {
+            assert!(r.is_nan(), "{a} op {b}: got {r}, want NaN");
+        } else {
+            assert_eq!(
+                r.to_bits(),
+                expect.to_bits(),
+                "{a:e} op {b:e}: got {r:e}, want {expect:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn add_matches_native_on_corner_cases() {
+        let cases: &[(f64, f64)] = &[
+            (1.5, 2.25),
+            (0.1, 0.2),
+            (1e300, 1e300),
+            (1e-300, -1e-300),
+            (1.0, -1.0),
+            (1.0, 1e-18),
+            (f64::MAX, f64::MAX),
+            (f64::MIN_POSITIVE, f64::MIN_POSITIVE),
+            (f64::MIN_POSITIVE / 4.0, f64::MIN_POSITIVE / 8.0),
+            (0.0, -0.0),
+            (-0.0, -0.0),
+            (f64::INFINITY, 1.0),
+            (f64::INFINITY, f64::NEG_INFINITY),
+            (f64::NAN, 1.0),
+            (2.0f64.powi(53), 1.0),
+            (2.0f64.powi(53), 3.0),
+            (1.0, 2.0f64.powi(-53)),
+            (1.0, 2.0f64.powi(-54)),
+            (8.0, -7.999999999999999),
+        ];
+        for &(a, b) in cases {
+            check64(add, |x, y| x + y, a, b);
+            check64(add, |x, y| x + y, b, a);
+            check64(sub, |x, y| x - y, a, b);
+        }
+    }
+
+    #[test]
+    fn mul_matches_native_on_corner_cases() {
+        let cases: &[(f64, f64)] = &[
+            (1.5, 2.25),
+            (0.1, 0.2),
+            (1e200, 1e200),
+            (1e-200, 1e-200),
+            (f64::MAX, 2.0),
+            (f64::MIN_POSITIVE, 0.5),
+            (f64::MIN_POSITIVE, f64::MIN_POSITIVE),
+            (0.0, -5.0),
+            (f64::INFINITY, 0.0),
+            (f64::INFINITY, -3.0),
+            (f64::NAN, 2.0),
+            (1.0000000000000002, 1.0000000000000002),
+            (-3.5e-310, 2.0),
+        ];
+        for &(a, b) in cases {
+            check64(mul, |x, y| x * y, a, b);
+            check64(mul, |x, y| x * y, b, a);
+        }
+    }
+
+    #[test]
+    fn div_matches_native_on_corner_cases() {
+        let cases: &[(f64, f64)] = &[
+            (1.0, 3.0),
+            (2.0, 3.0),
+            (0.1, 0.2),
+            (1e300, 1e-300),
+            (1e-300, 1e300),
+            (f64::MAX, 0.5),
+            (f64::MIN_POSITIVE, 2.0),
+            (1.0, 0.0),
+            (-1.0, 0.0),
+            (0.0, 0.0),
+            (f64::INFINITY, f64::INFINITY),
+            (f64::INFINITY, 2.0),
+            (5.0, f64::INFINITY),
+            (f64::NAN, 1.0),
+            (4.5e-310, 3.0),
+        ];
+        for &(a, b) in cases {
+            check64(div, |x, y| x / y, a, b);
+        }
+    }
+
+    #[test]
+    fn f32_ops_match_native() {
+        let fmt = Format::F32;
+        let cases: &[(f32, f32)] = &[
+            (1.5, 2.25),
+            (0.1, 0.2),
+            (1e38, 1e38),
+            (1e-38, 1e-38),
+            (f32::MAX, f32::MAX),
+            (f32::MIN_POSITIVE / 4.0, f32::MIN_POSITIVE / 8.0),
+            (1.0, 3.0),
+            (7.0, -7.0),
+        ];
+        for &(a, b) in cases {
+            for (ours, native) in [
+                (add as fn(Format, u64, u64, FpuConfig, &mut Flags) -> u64, (|x, y| x + y) as fn(f32, f32) -> f32),
+                (sub, |x, y| x - y),
+                (mul, |x, y| x * y),
+                (div, |x, y| x / y),
+            ] {
+                let mut flags = Flags::default();
+                let r = ours(
+                    fmt,
+                    a.to_bits() as u64,
+                    b.to_bits() as u64,
+                    FpuConfig::default(),
+                    &mut flags,
+                );
+                let expect = native(a, b);
+                if expect.is_nan() {
+                    assert!(fmt.is_nan(r));
+                } else {
+                    assert_eq!(r as u32, expect.to_bits(), "{a} . {b} -> {expect}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flags_raised_correctly() {
+        let (_, f) = f64_op(add, f64::MAX, f64::MAX);
+        assert!(f.overflow && f.inexact);
+        let (_, f) = f64_op(div, 1.0, 0.0);
+        assert!(f.div_by_zero && !f.invalid);
+        let (_, f) = f64_op(div, 0.0, 0.0);
+        assert!(f.invalid);
+        let (_, f) = f64_op(add, f64::INFINITY, f64::NEG_INFINITY);
+        assert!(f.invalid);
+        let (_, f) = f64_op(mul, f64::MIN_POSITIVE, f64::MIN_POSITIVE);
+        assert!(f.underflow && f.inexact);
+        let (_, f) = f64_op(add, 1.0, 1.0);
+        assert!(!f.any());
+        let (_, f) = f64_op(add, 1.0, 2.0f64.powi(-54));
+        assert!(f.inexact && !f.overflow);
+    }
+
+    #[test]
+    fn ftz_flushes_inputs_and_outputs() {
+        let cfg = FpuConfig { ftz: true };
+        let fmt = Format::F64;
+        let mut flags = Flags::default();
+        // Subnormal result flushed to zero.
+        let tiny = f64::MIN_POSITIVE;
+        let r = mul(fmt, tiny.to_bits(), 0.5f64.to_bits(), cfg, &mut flags);
+        assert_eq!(f64::from_bits(r), 0.0);
+        assert!(flags.underflow);
+        // Subnormal input treated as zero.
+        let sub_in = (f64::MIN_POSITIVE / 2.0).to_bits();
+        let mut flags = Flags::default();
+        let r = add(fmt, sub_in, 0f64.to_bits(), cfg, &mut flags);
+        assert_eq!(r, fmt.zero(false));
+        // Negative subnormal × anything → signed zero.
+        let mut flags = Flags::default();
+        let r = mul(fmt, (-f64::MIN_POSITIVE / 2.0).to_bits(), 3.0f64.to_bits(), cfg, &mut flags);
+        assert_eq!(r, fmt.zero(true));
+    }
+
+    #[test]
+    fn signed_zero_semantics() {
+        let (r, _) = f64_op(add, -0.0, -0.0);
+        assert_eq!(r.to_bits(), (-0.0f64).to_bits());
+        let (r, _) = f64_op(add, 0.0, -0.0);
+        assert_eq!(r.to_bits(), 0.0f64.to_bits());
+        let (r, _) = f64_op(sub, 1.0, 1.0);
+        assert_eq!(r.to_bits(), 0.0f64.to_bits(), "x - x = +0 in RNE");
+        let (r, _) = f64_op(mul, -0.0, 5.0);
+        assert_eq!(r.to_bits(), (-0.0f64).to_bits());
+        let (r, _) = f64_op(div, -0.0, 5.0);
+        assert_eq!(r.to_bits(), (-0.0f64).to_bits());
+    }
+}

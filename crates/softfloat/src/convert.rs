@@ -1,0 +1,219 @@
+//! Integer ↔ floating-point conversions.
+
+use crate::arith::{round_pack, shr_sticky64};
+use crate::{Flags, Format, FpuConfig};
+
+/// Convert a signed integer to floating point, round-to-nearest-even.
+///
+/// The `i32`-sourced single-precision conversion of the ISA sign-extends
+/// into the `i64` before calling this.
+pub fn i2f(fmt: Format, x: i64, cfg: FpuConfig, flags: &mut Flags) -> u64 {
+    if x == 0 {
+        return fmt.zero(false);
+    }
+    let sign = x < 0;
+    let mag = x.unsigned_abs();
+    let top = 63 - mag.leading_zeros(); // MSB position
+    let f = fmt.frac_bits;
+    let e = fmt.bias() + top as i32;
+    let m = if top <= f + 3 {
+        mag << (f + 3 - top)
+    } else {
+        shr_sticky64(mag, top - (f + 3))
+    };
+    round_pack(fmt, cfg, flags, sign, e, m)
+}
+
+/// Convert floating point to a signed integer of `int_bits` width,
+/// truncating toward zero and saturating on overflow (matching Rust's
+/// `as` cast and RISC-V `fcvt` semantics: NaN converts to 0 with the
+/// invalid flag raised).
+pub fn f2i(fmt: Format, bits: u64, int_bits: u32, flags: &mut Flags) -> i64 {
+    assert!((2..=64).contains(&int_bits), "integer width out of range");
+    let max: u64 = (1u64 << (int_bits - 1)) - 1; // e.g. i64::MAX
+    let min_mag: u64 = 1u64 << (int_bits - 1); // magnitude of i64::MIN
+    if fmt.is_nan(bits) {
+        flags.invalid = true;
+        return 0;
+    }
+    let sign = fmt.sign_of(bits);
+    let saturate = |flags: &mut Flags| -> i64 {
+        flags.invalid = true;
+        if sign {
+            // Most negative value; wrapping_neg maps 2^63 to i64::MIN.
+            (min_mag as i64).wrapping_neg()
+        } else {
+            max as i64
+        }
+    };
+    if fmt.is_inf(bits) {
+        return saturate(flags);
+    }
+    let f = fmt.frac_bits;
+    let exp = fmt.exp_of(bits);
+    let frac = fmt.frac_of(bits);
+    if exp == 0 {
+        if frac != 0 {
+            flags.inexact = true;
+        }
+        return 0;
+    }
+    let eu = exp as i32 - fmt.bias(); // unbiased exponent
+    if eu < 0 {
+        flags.inexact = true; // |value| in (0, 1) truncates to 0
+        return 0;
+    }
+    let sig = frac | (1u64 << f);
+    let mag: u128 = if eu as u32 <= f {
+        let shift = f - eu as u32;
+        if sig & ((1u64 << shift) - 1) != 0 {
+            flags.inexact = true;
+        }
+        (sig >> shift) as u128
+    } else {
+        let shift = eu as u32 - f;
+        if shift >= 64 {
+            return saturate(flags);
+        }
+        (sig as u128) << shift
+    };
+    let limit = if sign { min_mag as u128 } else { max as u128 };
+    if mag > limit {
+        return saturate(flags);
+    }
+    if sign {
+        (mag as i64).wrapping_neg()
+    } else {
+        mag as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i2f64(x: i64) -> f64 {
+        let mut flags = Flags::default();
+        f64::from_bits(i2f(Format::F64, x, FpuConfig::default(), &mut flags))
+    }
+
+    fn i2f32(x: i32) -> f32 {
+        let mut flags = Flags::default();
+        f32::from_bits(i2f(Format::F32, x as i64, FpuConfig::default(), &mut flags) as u32)
+    }
+
+    #[test]
+    fn i2f_matches_native_casts() {
+        for x in [
+            0i64,
+            1,
+            -1,
+            42,
+            -42,
+            i64::MAX,
+            i64::MIN,
+            (1 << 53) + 1,
+            (1 << 53) + 3,
+            -(1 << 60) - 12345,
+            987654321987654321,
+        ] {
+            assert_eq!(i2f64(x).to_bits(), (x as f64).to_bits(), "{x}");
+        }
+        for x in [0i32, 1, -1, i32::MAX, i32::MIN, 16777217, -16777219] {
+            assert_eq!(i2f32(x).to_bits(), (x as f32).to_bits(), "{x}");
+        }
+    }
+
+    #[test]
+    fn i2f_inexact_only_when_rounding() {
+        let mut flags = Flags::default();
+        i2f(Format::F64, 1 << 54, FpuConfig::default(), &mut flags);
+        assert!(!flags.inexact, "power of two is exact");
+        let mut flags = Flags::default();
+        i2f(Format::F64, (1 << 54) + 1, FpuConfig::default(), &mut flags);
+        assert!(flags.inexact);
+    }
+
+    fn f2i64(x: f64) -> i64 {
+        let mut flags = Flags::default();
+        f2i(Format::F64, x.to_bits(), 64, &mut flags)
+    }
+
+    fn f2i32(x: f32) -> i64 {
+        let mut flags = Flags::default();
+        f2i(Format::F32, x.to_bits() as u64, 32, &mut flags)
+    }
+
+    #[test]
+    fn f2i_matches_rust_saturating_casts() {
+        for x in [
+            0.0f64,
+            -0.0,
+            0.5,
+            -0.5,
+            1.9,
+            -1.9,
+            42.0,
+            1e18,
+            -1e18,
+            9.2e18,
+            -9.3e18,
+            1e300,
+            -1e300,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            9007199254740993.0,
+            (i64::MAX as f64),
+            (i64::MIN as f64),
+        ] {
+            assert_eq!(f2i64(x), x as i64, "{x}");
+        }
+        for x in [
+            0.0f32,
+            1.5,
+            -1.5,
+            3e9,
+            -3e9,
+            f32::NAN,
+            f32::INFINITY,
+            2147483520.0,
+            (i32::MIN as f32),
+        ] {
+            assert_eq!(f2i32(x), (x as i32) as i64, "{x}");
+        }
+    }
+
+    #[test]
+    fn f2i_flags() {
+        let mut flags = Flags::default();
+        f2i(Format::F64, 1.5f64.to_bits(), 64, &mut flags);
+        assert!(flags.inexact && !flags.invalid);
+        let mut flags = Flags::default();
+        f2i(Format::F64, f64::NAN.to_bits(), 64, &mut flags);
+        assert!(flags.invalid);
+        let mut flags = Flags::default();
+        f2i(Format::F64, 1e300f64.to_bits(), 64, &mut flags);
+        assert!(flags.invalid);
+        let mut flags = Flags::default();
+        f2i(Format::F64, 7.0f64.to_bits(), 64, &mut flags);
+        assert!(!flags.any());
+    }
+
+    #[test]
+    fn f2i_subnormal_truncates_to_zero() {
+        let mut flags = Flags::default();
+        let sub = f64::MIN_POSITIVE / 2.0;
+        assert_eq!(f2i(Format::F64, sub.to_bits(), 64, &mut flags), 0);
+        assert!(flags.inexact);
+    }
+
+    #[test]
+    fn exact_i64_min_roundtrip() {
+        // -2^63 is exactly representable and exactly convertible back.
+        let x = i64::MIN as f64;
+        let mut flags = Flags::default();
+        assert_eq!(f2i(Format::F64, x.to_bits(), 64, &mut flags), i64::MIN);
+        assert!(!flags.invalid);
+    }
+}

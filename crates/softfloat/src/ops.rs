@@ -1,0 +1,264 @@
+//! The twelve modeled FPU operations and their dispatch.
+
+use crate::{arith, convert, Flags, Format, FpuConfig};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operation kind (precision-independent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FpOpKind {
+    /// Floating-point addition.
+    Add,
+    /// Floating-point subtraction.
+    Sub,
+    /// Floating-point multiplication.
+    Mul,
+    /// Floating-point division.
+    Div,
+    /// Signed integer → floating point.
+    ItoF,
+    /// Floating point → signed integer (truncate).
+    FtoI,
+}
+
+impl FpOpKind {
+    /// All six kinds.
+    pub const ALL: [FpOpKind; 6] = [
+        FpOpKind::Add,
+        FpOpKind::Sub,
+        FpOpKind::Mul,
+        FpOpKind::Div,
+        FpOpKind::ItoF,
+        FpOpKind::FtoI,
+    ];
+}
+
+/// Operand/result precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Precision {
+    /// IEEE-754 binary32.
+    Single,
+    /// IEEE-754 binary64.
+    Double,
+}
+
+impl Precision {
+    /// The corresponding interchange format.
+    pub fn format(self) -> Format {
+        match self {
+            Precision::Single => Format::F32,
+            Precision::Double => Format::F64,
+        }
+    }
+
+    /// Width of the companion integer type (conversions).
+    pub fn int_bits(self) -> u32 {
+        match self {
+            Precision::Single => 32,
+            Precision::Double => 64,
+        }
+    }
+}
+
+/// One of the twelve modeled FPU operations (6 kinds × 2 precisions) —
+/// the instruction set of the paper's Section IV.B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FpOp {
+    /// Operation kind.
+    pub kind: FpOpKind,
+    /// Operand precision.
+    pub precision: Precision,
+}
+
+impl FpOp {
+    /// Construct an operation.
+    pub fn new(kind: FpOpKind, precision: Precision) -> Self {
+        FpOp { kind, precision }
+    }
+
+    /// All twelve operations, double precision first, in a stable order
+    /// usable as a table index (see [`FpOp::index`]).
+    pub fn all() -> [FpOp; 12] {
+        let mut out = [FpOp::new(FpOpKind::Add, Precision::Double); 12];
+        let mut i = 0;
+        for precision in [Precision::Double, Precision::Single] {
+            for kind in FpOpKind::ALL {
+                out[i] = FpOp { kind, precision };
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Stable index in `0..12` matching [`FpOp::all`].
+    pub fn index(self) -> usize {
+        let k = match self.kind {
+            FpOpKind::Add => 0,
+            FpOpKind::Sub => 1,
+            FpOpKind::Mul => 2,
+            FpOpKind::Div => 3,
+            FpOpKind::ItoF => 4,
+            FpOpKind::FtoI => 5,
+        };
+        match self.precision {
+            Precision::Double => k,
+            Precision::Single => 6 + k,
+        }
+    }
+
+    /// The operand format.
+    pub fn format(self) -> Format {
+        self.precision.format()
+    }
+
+    /// True for the two-operand arithmetic kinds.
+    pub fn is_binary(self) -> bool {
+        matches!(
+            self.kind,
+            FpOpKind::Add | FpOpKind::Sub | FpOpKind::Mul | FpOpKind::Div
+        )
+    }
+
+    /// Width in bits of the destination register value.
+    pub fn result_bits(self) -> u32 {
+        match self.precision {
+            Precision::Single => 32,
+            Precision::Double => 64,
+        }
+    }
+}
+
+impl fmt::Display for FpOp {
+    /// Paper-style label, e.g. `fp-mul (d)` or `I2F (s)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let p = match self.precision {
+            Precision::Single => "s",
+            Precision::Double => "d",
+        };
+        match self.kind {
+            FpOpKind::Add => write!(f, "fp-add ({p})"),
+            FpOpKind::Sub => write!(f, "fp-sub ({p})"),
+            FpOpKind::Mul => write!(f, "fp-mul ({p})"),
+            FpOpKind::Div => write!(f, "fp-div ({p})"),
+            FpOpKind::ItoF => write!(f, "I2F ({p})"),
+            FpOpKind::FtoI => write!(f, "F2I ({p})"),
+        }
+    }
+}
+
+/// Apply `op` to raw operand bits. Unary kinds ignore `b`.
+///
+/// Integer operands (ItoF) are read from the low `int_bits` of `a` and
+/// sign-extended; integer results (FtoI) are returned sign-extended in a
+/// `u64`.
+pub fn apply(op: FpOp, a: u64, b: u64, cfg: FpuConfig, flags: &mut Flags) -> u64 {
+    let fmt = op.format();
+    match op.kind {
+        FpOpKind::Add => arith::add(fmt, a, b, cfg, flags),
+        FpOpKind::Sub => arith::sub(fmt, a, b, cfg, flags),
+        FpOpKind::Mul => arith::mul(fmt, a, b, cfg, flags),
+        FpOpKind::Div => arith::div(fmt, a, b, cfg, flags),
+        FpOpKind::ItoF => {
+            let x = match op.precision {
+                Precision::Single => a as u32 as i32 as i64,
+                Precision::Double => a as i64,
+            };
+            i2f_dispatch(fmt, x, cfg, flags, op.precision)
+        }
+        FpOpKind::FtoI => {
+            let v = convert::f2i(fmt, a, op.precision.int_bits(), flags);
+            match op.precision {
+                Precision::Single => (v as i32) as u32 as u64,
+                Precision::Double => v as u64,
+            }
+        }
+    }
+}
+
+fn i2f_dispatch(fmt: Format, x: i64, cfg: FpuConfig, flags: &mut Flags, _p: Precision) -> u64 {
+    convert::i2f(fmt, x, cfg, flags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_ops_with_stable_indices() {
+        let all = FpOp::all();
+        assert_eq!(all.len(), 12);
+        for (i, op) in all.iter().enumerate() {
+            assert_eq!(op.index(), i, "{op}");
+        }
+        // Double precision comes first (the error-prone half).
+        assert_eq!(all[2], FpOp::new(FpOpKind::Mul, Precision::Double));
+        assert!(all[..6].iter().all(|o| o.precision == Precision::Double));
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(
+            FpOp::new(FpOpKind::Mul, Precision::Double).to_string(),
+            "fp-mul (d)"
+        );
+        assert_eq!(
+            FpOp::new(FpOpKind::ItoF, Precision::Single).to_string(),
+            "I2F (s)"
+        );
+    }
+
+    #[test]
+    fn apply_dispatches_all_kinds() {
+        let mut flags = Flags::default();
+        let cfg = FpuConfig::default();
+        let d = Precision::Double;
+        let a = 6.0f64.to_bits();
+        let b = 1.5f64.to_bits();
+        assert_eq!(
+            f64::from_bits(apply(FpOp::new(FpOpKind::Add, d), a, b, cfg, &mut flags)),
+            7.5
+        );
+        assert_eq!(
+            f64::from_bits(apply(FpOp::new(FpOpKind::Sub, d), a, b, cfg, &mut flags)),
+            4.5
+        );
+        assert_eq!(
+            f64::from_bits(apply(FpOp::new(FpOpKind::Mul, d), a, b, cfg, &mut flags)),
+            9.0
+        );
+        assert_eq!(
+            f64::from_bits(apply(FpOp::new(FpOpKind::Div, d), a, b, cfg, &mut flags)),
+            4.0
+        );
+        assert_eq!(
+            f64::from_bits(apply(
+                FpOp::new(FpOpKind::ItoF, d),
+                (-9i64) as u64,
+                0,
+                cfg,
+                &mut flags
+            )),
+            -9.0
+        );
+        assert_eq!(
+            apply(FpOp::new(FpOpKind::FtoI, d), (-2.75f64).to_bits(), 0, cfg, &mut flags) as i64,
+            -2
+        );
+    }
+
+    #[test]
+    fn single_precision_conversions_use_32bit_ints() {
+        let mut flags = Flags::default();
+        let cfg = FpuConfig::default();
+        let s = Precision::Single;
+        // -1 as a 32-bit pattern sign-extends correctly.
+        let r = apply(FpOp::new(FpOpKind::ItoF, s), 0xffff_ffff, 0, cfg, &mut flags);
+        assert_eq!(f32::from_bits(r as u32), -1.0);
+        // Saturation at the i32 boundary.
+        let mut flags = Flags::default();
+        let big = 3e9f32.to_bits() as u64;
+        let r = apply(FpOp::new(FpOpKind::FtoI, s), big, 0, cfg, &mut flags);
+        assert_eq!(r as u32 as i32, i32::MAX);
+        assert!(flags.invalid);
+    }
+}

@@ -1,0 +1,399 @@
+//! Voltage → delay derating models.
+//!
+//! The paper re-characterizes its 45 nm library at 15 % and 20 % supply
+//! reduction with SiliconSmart. We substitute the standard alpha-power-law
+//! MOSFET delay model: gate delay is proportional to
+//! `V / (V − Vth)^α`, so reducing the supply from `Vnom` to `V` inflates
+//! every delay by
+//!
+//! ```text
+//! k(V) = (V / Vnom) · ((Vnom − Vth) / (V − Vth))^α
+//! ```
+//!
+//! With the 45 nm-class defaults (`Vnom = 1.1 V`, `Vth = 0.5 V`,
+//! `α = 1.4`), the paper's two corners come out to `k(VR15) ≈ 1.33` and
+//! `k(VR20) ≈ 1.52`.
+
+use serde::{Deserialize, Serialize};
+
+/// Nominal supply voltage of the modeled library corner (volts).
+pub const V_NOMINAL: f64 = 1.1;
+
+/// The supply-voltage reduction levels studied in the paper, plus an
+/// arbitrary level for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VoltageReduction {
+    /// Nominal operation (no reduction).
+    Nominal,
+    /// 15 % supply reduction (the paper's VR15, 0.935 V).
+    VR15,
+    /// 20 % supply reduction (the paper's VR20, 0.88 V).
+    VR20,
+    /// An arbitrary fractional reduction in `(0, 0.5]`, e.g. `0.10` for 10 %.
+    Custom(f64),
+}
+
+impl VoltageReduction {
+    /// The reduction as a fraction of nominal (0.15 for VR15).
+    pub fn fraction(self) -> f64 {
+        match self {
+            VoltageReduction::Nominal => 0.0,
+            VoltageReduction::VR15 => 0.15,
+            VoltageReduction::VR20 => 0.20,
+            VoltageReduction::Custom(f) => f,
+        }
+    }
+
+    /// The resulting supply voltage in volts.
+    pub fn vdd(self) -> f64 {
+        V_NOMINAL * (1.0 - self.fraction())
+    }
+
+    /// Delay inflation factor at this corner under the default
+    /// [`AlphaPowerLaw`].
+    pub fn derating_factor(self) -> f64 {
+        AlphaPowerLaw::default().factor(self.vdd())
+    }
+
+    /// Short label used in reports ("VR15", "VR20", ...).
+    pub fn label(self) -> String {
+        match self {
+            VoltageReduction::Nominal => "nominal".to_string(),
+            VoltageReduction::VR15 => "VR15".to_string(),
+            VoltageReduction::VR20 => "VR20".to_string(),
+            VoltageReduction::Custom(f) => format!("VR{:02.0}", f * 100.0),
+        }
+    }
+}
+
+/// An operating point: supply voltage and clock period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Clock period in nanoseconds.
+    pub clk: f64,
+}
+
+impl OperatingPoint {
+    /// The paper's design point: 1.1 V, 4.5 ns minimum clock.
+    pub fn paper_nominal() -> Self {
+        OperatingPoint {
+            vdd: V_NOMINAL,
+            clk: 4.5,
+        }
+    }
+
+    /// Same clock, reduced voltage.
+    pub fn with_reduction(self, vr: VoltageReduction) -> Self {
+        OperatingPoint {
+            vdd: V_NOMINAL * (1.0 - vr.fraction()),
+            clk: self.clk,
+        }
+    }
+}
+
+/// Alpha-power-law delay model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaPowerLaw {
+    /// Nominal supply (volts).
+    pub vnom: f64,
+    /// Effective threshold voltage (volts).
+    pub vth: f64,
+    /// Velocity-saturation exponent.
+    pub alpha: f64,
+}
+
+impl Default for AlphaPowerLaw {
+    fn default() -> Self {
+        AlphaPowerLaw {
+            vnom: V_NOMINAL,
+            vth: 0.5,
+            alpha: 1.4,
+        }
+    }
+}
+
+impl AlphaPowerLaw {
+    /// Delay inflation factor at supply `vdd` relative to `vnom`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not above the threshold voltage (the circuit
+    /// would not switch at all).
+    pub fn factor(&self, vdd: f64) -> f64 {
+        assert!(
+            vdd > self.vth,
+            "supply {vdd} V at or below threshold {} V",
+            self.vth
+        );
+        (vdd / self.vnom) * ((self.vnom - self.vth) / (vdd - self.vth)).powf(self.alpha)
+    }
+}
+
+/// How per-gate delays are inflated at a reduced-voltage corner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeratingModel {
+    /// Every gate scales by the same alpha-power-law factor. Under this
+    /// model nominal arrival times scale uniformly, so dynamic timing
+    /// analysis can be performed once and re-thresholded per corner.
+    Uniform(AlphaPowerLaw),
+    /// Uniform scaling plus deterministic per-gate jitter of relative
+    /// magnitude `sigma` (a ±sigma triangular perturbation seeded by the
+    /// gate index), modeling within-die process variation. Used by the
+    /// ablation benches.
+    PerGateJitter {
+        /// The underlying uniform law.
+        law: AlphaPowerLaw,
+        /// Relative jitter magnitude (e.g. 0.05 for ±5 %).
+        sigma: f64,
+        /// Seed decorrelating different fabricated instances.
+        seed: u64,
+    },
+}
+
+impl Default for DeratingModel {
+    fn default() -> Self {
+        DeratingModel::Uniform(AlphaPowerLaw::default())
+    }
+}
+
+impl DeratingModel {
+    /// Derating factor for gate `gate_index` at supply `vdd`.
+    pub fn factor_for(&self, vdd: f64, gate_index: usize) -> f64 {
+        match self {
+            DeratingModel::Uniform(law) => law.factor(vdd),
+            DeratingModel::PerGateJitter { law, sigma, seed } => {
+                let base = law.factor(vdd);
+                // SplitMix64 over (seed, gate) → deterministic jitter in [-1, 1).
+                let mut z = seed
+                    .wrapping_add(0x9e3779b97f4a7c15)
+                    .wrapping_add((gate_index as u64).wrapping_mul(0xbf58476d1ce4e5b9));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^= z >> 31;
+                let unit = (z as f64 / u64::MAX as f64) * 2.0 - 1.0;
+                base * (1.0 + sigma * unit)
+            }
+        }
+    }
+
+    /// True when the factor is identical for every gate, enabling the
+    /// compute-once / re-threshold-per-corner optimization.
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, DeratingModel::Uniform(_))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Additional delay-increase sources (the paper's future-work extensions:
+// temperature variation, transistor aging, overclocking).
+// ---------------------------------------------------------------------
+
+/// Temperature-dependent delay model for a low-voltage 45 nm-class corner.
+///
+/// Two competing effects: carrier mobility degrades with temperature
+/// (slower), while the threshold voltage drops (faster at low supply).
+/// Near and below the nominal supply this model is mobility-dominated,
+/// with the threshold shift folded into the alpha-power law:
+/// `Vth(T) = Vth(T0) − kt·(T − T0)`, `μ(T) ∝ (T/T0)^−m`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureModel {
+    /// The base alpha-power law (characterized at `t0`).
+    pub law: AlphaPowerLaw,
+    /// Characterization temperature in °C (the paper's 25 °C).
+    pub t0: f64,
+    /// Threshold-voltage temperature coefficient (V/°C), typically ~1 mV/°C.
+    pub vth_slope: f64,
+    /// Mobility exponent `m` (typically 1.2–1.5).
+    pub mobility_exp: f64,
+}
+
+impl Default for TemperatureModel {
+    fn default() -> Self {
+        TemperatureModel {
+            law: AlphaPowerLaw::default(),
+            t0: 25.0,
+            vth_slope: 1.0e-3,
+            mobility_exp: 1.3,
+        }
+    }
+}
+
+impl TemperatureModel {
+    /// Delay inflation factor at supply `vdd` and temperature `celsius`,
+    /// relative to the nominal supply at the characterization temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the effective supply falls to the shifted threshold.
+    pub fn factor(&self, vdd: f64, celsius: f64) -> f64 {
+        let vth = self.law.vth - self.vth_slope * (celsius - self.t0);
+        assert!(vdd > vth, "supply at or below the shifted threshold");
+        // Delay relative to (vnom, t0, vth(t0)) reference conditions.
+        let ref_drive = (self.law.vnom - self.law.vth).powf(self.law.alpha);
+        let drive = (vdd - vth).powf(self.law.alpha);
+        let kelvin0 = self.t0 + 273.15;
+        let kelvin = celsius + 273.15;
+        let mobility = (kelvin / kelvin0).powf(self.mobility_exp);
+        (vdd / self.law.vnom) * (ref_drive / drive) * mobility
+    }
+}
+
+/// NBTI-style transistor aging: threshold voltage drifts upward with a
+/// fractional-power law of operational time,
+/// `ΔVth(t) = a · (t/1yr)^n` (n ≈ 0.16–0.25).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingModel {
+    /// The fresh-silicon alpha-power law.
+    pub law: AlphaPowerLaw,
+    /// Threshold shift after one year of stress (V), typically 10–30 mV.
+    pub dvth_1y: f64,
+    /// Time exponent `n`.
+    pub exponent: f64,
+}
+
+impl Default for AgingModel {
+    fn default() -> Self {
+        AgingModel {
+            law: AlphaPowerLaw::default(),
+            dvth_1y: 0.02,
+            exponent: 0.2,
+        }
+    }
+}
+
+impl AgingModel {
+    /// Delay inflation factor at supply `vdd` after `years` of operation,
+    /// relative to fresh silicon at the nominal supply.
+    pub fn factor(&self, vdd: f64, years: f64) -> f64 {
+        assert!(years >= 0.0, "negative age");
+        let dvth = if years == 0.0 {
+            0.0
+        } else {
+            self.dvth_1y * years.powf(self.exponent)
+        };
+        let vth = self.law.vth + dvth;
+        assert!(vdd > vth, "supply at or below the aged threshold");
+        // Delay relative to fresh silicon at the nominal supply.
+        let ref_drive = (self.law.vnom - self.law.vth).powf(self.law.alpha);
+        let drive = (vdd - vth).powf(self.law.alpha);
+        (vdd / self.law.vnom) * (ref_drive / drive)
+    }
+}
+
+/// Overclocking expressed in the same "delay-vs-period" frame the rest of
+/// the toolflow uses: raising the frequency by `fraction` is equivalent to
+/// shrinking the clock period, i.e. inflating every relative delay by
+/// `1 / (1 − fraction)` at an unchanged supply.
+pub fn overclock_factor(fraction: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&fraction),
+        "overclock fraction out of range"
+    );
+    1.0 / (1.0 - fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_factor_is_one() {
+        let law = AlphaPowerLaw::default();
+        assert!((law.factor(V_NOMINAL) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_corners_inflate_delay_monotonically() {
+        let k15 = VoltageReduction::VR15.derating_factor();
+        let k20 = VoltageReduction::VR20.derating_factor();
+        assert!(k15 > 1.0 && k20 > k15, "k15={k15} k20={k20}");
+        // Calibration band documented in DESIGN.md.
+        assert!((1.25..1.45).contains(&k15), "k15={k15}");
+        assert!((1.40..1.65).contains(&k20), "k20={k20}");
+    }
+
+    #[test]
+    fn vdd_values_match_paper() {
+        assert!((VoltageReduction::VR15.vdd() - 0.935).abs() < 1e-9);
+        assert!((VoltageReduction::VR20.vdd() - 0.88).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn sub_threshold_supply_rejected() {
+        AlphaPowerLaw::default().factor(0.4);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let model = DeratingModel::PerGateJitter {
+            law: AlphaPowerLaw::default(),
+            sigma: 0.05,
+            seed: 42,
+        };
+        let base = AlphaPowerLaw::default().factor(0.88);
+        for g in 0..1000 {
+            let f1 = model.factor_for(0.88, g);
+            let f2 = model.factor_for(0.88, g);
+            assert_eq!(f1, f2, "deterministic");
+            assert!((f1 / base - 1.0).abs() <= 0.05 + 1e-12, "bounded at gate {g}");
+        }
+        // Jitter actually varies between gates.
+        let a = model.factor_for(0.88, 1);
+        let b = model.factor_for(0.88, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn custom_reduction_label() {
+        assert_eq!(VoltageReduction::Custom(0.10).label(), "VR10");
+        assert_eq!(VoltageReduction::VR15.label(), "VR15");
+    }
+
+    #[test]
+    fn temperature_slows_low_voltage_circuits() {
+        let m = TemperatureModel::default();
+        let base = m.factor(0.88, 25.0);
+        assert!((base - AlphaPowerLaw::default().factor(0.88)).abs() < 1e-12);
+        // Hotter silicon at low voltage: mobility loss dominates but the
+        // threshold drop pulls the other way; both effects are modeled.
+        let hot = m.factor(0.88, 85.0);
+        assert!(hot != base);
+        // Mobility-only comparison: disable the threshold shift.
+        let mobility_only = TemperatureModel {
+            vth_slope: 0.0,
+            ..m
+        };
+        assert!(mobility_only.factor(0.88, 85.0) > base, "hotter ⇒ slower");
+    }
+
+    #[test]
+    fn aging_monotonically_slows_the_core() {
+        let m = AgingModel::default();
+        let fresh = m.factor(1.1, 0.0);
+        assert!((fresh - 1.0).abs() < 1e-12);
+        let y1 = m.factor(1.1, 1.0);
+        let y5 = m.factor(1.1, 5.0);
+        let y10 = m.factor(1.1, 10.0);
+        assert!(y1 > fresh && y5 > y1 && y10 > y5);
+        // Aging bites harder at reduced voltage (smaller overdrive).
+        let low_y5 = m.factor(0.88, 5.0) / m.factor(0.88, 0.0);
+        let nom_y5 = y5 / fresh;
+        assert!(low_y5 > nom_y5, "low-voltage aging penalty {low_y5} vs {nom_y5}");
+    }
+
+    #[test]
+    fn overclocking_maps_to_delay_inflation() {
+        assert!((overclock_factor(0.0) - 1.0).abs() < 1e-12);
+        assert!((overclock_factor(0.10) - 1.0 / 0.9).abs() < 1e-12);
+        assert!(overclock_factor(0.25) > overclock_factor(0.10));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn silly_overclock_rejected() {
+        overclock_factor(1.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Static timing analysis: arrival times, worst paths, slack, path census.
+
+use serde::{Deserialize, Serialize};
+use tei_netlist::{GateKind, NetId, Netlist};
+
+/// Static timing analysis of a netlist at its nominal corner.
+///
+/// Arrival time of a net is the worst-case (topological) time at which the
+/// net settles after the launching clock edge: `max(fanin arrivals) + gate
+/// delay`, with primary inputs arriving at t = 0. This matches conventional
+/// STA, which is input-data-agnostic — the paper's Section II.A.
+#[derive(Debug, Clone)]
+pub struct Sta {
+    arrivals: Vec<f64>,
+    endpoints: Vec<NetId>,
+}
+
+impl Sta {
+    /// Run STA over `nl`. Endpoints are the netlist's declared outputs
+    /// (register D-pins in the paper's pipelined-core view).
+    pub fn analyze(nl: &Netlist) -> Self {
+        let mut arrivals = vec![0.0f64; nl.len()];
+        for (i, g) in nl.gates().iter().enumerate() {
+            if g.kind == GateKind::Input {
+                continue;
+            }
+            let worst = g
+                .fanin()
+                .iter()
+                .map(|p| arrivals[p.index()])
+                .fold(0.0f64, f64::max);
+            arrivals[i] = worst + g.delay;
+        }
+        Sta {
+            arrivals,
+            endpoints: nl.output_nets(),
+        }
+    }
+
+    /// Arrival time of one net.
+    pub fn arrival(&self, net: NetId) -> f64 {
+        self.arrivals[net.index()]
+    }
+
+    /// All arrival times, indexed by net.
+    pub fn arrivals(&self) -> &[f64] {
+        &self.arrivals
+    }
+
+    /// The critical (maximum) delay over all endpoints — the left side of
+    /// the paper's equation (1); the minimum usable clock period.
+    pub fn max_delay(&self) -> f64 {
+        self.endpoints
+            .iter()
+            .map(|e| self.arrivals[e.index()])
+            .fold(0.0, f64::max)
+    }
+
+    /// Slack of an endpoint at clock period `clk`:
+    /// `slack = clk − arrival`. Negative slack means a static violation.
+    pub fn slack(&self, endpoint: NetId, clk: f64) -> f64 {
+        clk - self.arrivals[endpoint.index()]
+    }
+
+    /// Enumerate the `k` longest paths ending at `endpoint`, longest first.
+    ///
+    /// Best-first search over partial path suffixes with the exact
+    /// remaining-arrival bound, so paths are produced in non-increasing
+    /// delay order (PrimeTime's `report_timing -nworst k` per endpoint).
+    /// Each result is `(delay, nets from primary input to endpoint)`.
+    pub fn k_worst_paths_to(
+        &self,
+        nl: &Netlist,
+        endpoint: NetId,
+        k: usize,
+    ) -> Vec<(f64, Vec<NetId>)> {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        #[derive(PartialEq)]
+        struct Entry {
+            bound: f64,
+            suffix_delay: f64,
+            arena: usize,
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.bound
+                    .partial_cmp(&other.bound)
+                    .expect("finite bounds")
+            }
+        }
+
+        // Arena of (node, parent) links forming suffix chains toward the
+        // endpoint; shared tails keep memory linear in pops.
+        let mut arena: Vec<(NetId, Option<usize>)> = vec![(endpoint, None)];
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry {
+            bound: self.arrivals[endpoint.index()],
+            suffix_delay: 0.0,
+            arena: 0,
+        });
+        let mut out = Vec::with_capacity(k);
+        while let Some(e) = heap.pop() {
+            let (node, _) = arena[e.arena];
+            let g = nl.gate(node);
+            if g.fanin().is_empty() {
+                // Complete path: walk the chain back to the endpoint.
+                let mut path = Vec::new();
+                let mut cur = Some(e.arena);
+                while let Some(i) = cur {
+                    path.push(arena[i].0);
+                    cur = arena[i].1;
+                }
+                out.push((e.bound, path));
+                if out.len() >= k {
+                    break;
+                }
+                continue;
+            }
+            let suffix = e.suffix_delay + g.delay;
+            for &u in g.fanin() {
+                arena.push((u, Some(e.arena)));
+                heap.push(Entry {
+                    bound: self.arrivals[u.index()] + suffix,
+                    suffix_delay: suffix,
+                    arena: arena.len() - 1,
+                });
+            }
+        }
+        out
+    }
+
+    /// Trace the single worst path ending at `endpoint`: walk back through
+    /// the fanin with the largest arrival. Returns nets from a primary
+    /// input to the endpoint, inclusive.
+    pub fn worst_path_to(&self, nl: &Netlist, endpoint: NetId) -> Vec<NetId> {
+        let mut path = vec![endpoint];
+        let mut cur = endpoint;
+        loop {
+            let g = nl.gate(cur);
+            if g.fanin().is_empty() {
+                break;
+            }
+            let next = *g
+                .fanin()
+                .iter()
+                .max_by(|a, b| {
+                    self.arrivals[a.index()]
+                        .partial_cmp(&self.arrivals[b.index()])
+                        .expect("arrival times are finite")
+                })
+                .expect("non-empty fanin");
+            path.push(next);
+            cur = next;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// One reported timing path (worst path per endpoint).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathInfo {
+    /// Endpoint net.
+    pub endpoint: NetId,
+    /// Path delay in nanoseconds at the nominal corner.
+    pub delay: f64,
+    /// Slack at the census clock period.
+    pub slack: f64,
+    /// Name of the block contributing the most delay along the path.
+    pub dominant_block: String,
+    /// Name of the output port the endpoint belongs to.
+    pub port: String,
+    /// Number of gates on the path.
+    pub length: usize,
+}
+
+/// The paper's Figure 4 artifact: the K lowest-slack paths of a design,
+/// grouped by functional block.
+///
+/// As in PrimeTime-style `report_timing -nworst 1`, one path is reported
+/// per endpoint (the worst), and the census keeps the K worst endpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathCensus {
+    /// Paths sorted by ascending slack (most critical first).
+    pub paths: Vec<PathInfo>,
+    /// Clock period used for the slack computation.
+    pub clk: f64,
+}
+
+impl PathCensus {
+    /// Collect the `k` lowest-slack paths of `nl` at clock `clk`, taking as
+    /// many paths per endpoint as needed to fill `k` (like PrimeTime's
+    /// `-max_paths k -nworst n`).
+    pub fn top_k(nl: &Netlist, clk: f64, k: usize) -> Self {
+        let endpoints: usize = nl.output_ports().iter().map(|(_, b)| b.len()).sum();
+        let nworst = k.div_ceil(endpoints.max(1)).clamp(1, 16);
+        Self::top_k_nworst(nl, clk, k, nworst)
+    }
+
+    /// Collect the `k` lowest-slack paths, reporting at most `nworst` paths
+    /// per endpoint.
+    pub fn top_k_nworst(nl: &Netlist, clk: f64, k: usize, nworst: usize) -> Self {
+        let sta = Sta::analyze(nl);
+        let mut paths: Vec<PathInfo> = Vec::new();
+        for (port, bus) in nl.output_ports() {
+            for &endpoint in bus {
+                for (delay, nets) in sta.k_worst_paths_to(nl, endpoint, nworst) {
+                    // Aggregate delay per block along the path.
+                    let mut per_block: Vec<f64> = vec![0.0; nl.block_names().len()];
+                    for &n in &nets {
+                        let g = nl.gate(n);
+                        per_block[g.block.index()] += g.delay;
+                    }
+                    let dominant = per_block
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite delays"))
+                        .map(|(i, _)| nl.block_names()[i].clone())
+                        .unwrap_or_else(|| "top".to_string());
+                    paths.push(PathInfo {
+                        endpoint,
+                        delay,
+                        slack: clk - delay,
+                        dominant_block: dominant,
+                        port: port.clone(),
+                        length: nets.len(),
+                    });
+                }
+            }
+        }
+        paths.sort_by(|a, b| a.slack.partial_cmp(&b.slack).expect("finite slack"));
+        paths.truncate(k);
+        PathCensus { paths, clk }
+    }
+
+    /// Histogram of path counts per dominant block, most critical first.
+    pub fn by_block(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for p in &self.paths {
+            match counts.iter_mut().find(|(b, _)| *b == p.dominant_block) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((p.dominant_block.clone(), 1)),
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tei_netlist::CellLibrary;
+
+    fn chain(nl: &mut Netlist, start: NetId, n: usize) -> NetId {
+        let mut cur = start;
+        for _ in 0..n {
+            cur = nl.not(cur);
+        }
+        cur
+    }
+
+    #[test]
+    fn arrival_accumulates_along_chain() {
+        let mut nl = Netlist::new("c", CellLibrary::unit());
+        let a = nl.add_input_bit();
+        let end = chain(&mut nl, a, 5);
+        nl.mark_output_bus("o", &[end]);
+        let sta = Sta::analyze(&nl);
+        assert!((sta.max_delay() - 5.0).abs() < 1e-12);
+        assert!((sta.slack(end, 8.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_of_reconvergent_paths_wins() {
+        let mut nl = Netlist::new("r", CellLibrary::unit());
+        let a = nl.add_input_bit();
+        let short = nl.not(a);
+        let long = chain(&mut nl, a, 4);
+        let out = nl.and(short, long);
+        nl.mark_output_bus("o", &[out]);
+        let sta = Sta::analyze(&nl);
+        assert!((sta.arrival(out) - 5.0).abs() < 1e-12);
+        let path = sta.worst_path_to(&nl, out);
+        assert_eq!(path.len(), 6, "input + 4 nots + and");
+        assert_eq!(path[0], a);
+        assert_eq!(*path.last().unwrap(), out);
+    }
+
+    #[test]
+    fn census_sorts_by_slack_and_tags_blocks() {
+        let mut nl = Netlist::new("c", CellLibrary::unit());
+        let a = nl.add_input_bit();
+        nl.begin_block("shallow");
+        let s = chain(&mut nl, a, 2);
+        nl.begin_block("deep");
+        let d = chain(&mut nl, a, 10);
+        nl.mark_output_bus("s", &[s]);
+        nl.mark_output_bus("d", &[d]);
+        let census = PathCensus::top_k(&nl, 12.0, 10);
+        assert_eq!(census.paths.len(), 2);
+        assert_eq!(census.paths[0].dominant_block, "deep");
+        assert!(census.paths[0].slack < census.paths[1].slack);
+        let hist = census.by_block();
+        assert_eq!(hist.len(), 2);
+    }
+
+    #[test]
+    fn census_truncates_to_k() {
+        let mut nl = Netlist::new("c", CellLibrary::unit());
+        let a = nl.add_input_bus("a", 8);
+        let b = nl.add_input_bus("b", 8);
+        let zero = nl.const_bit(false);
+        let (sum, _) = nl.ripple_add(&a, &b, zero);
+        nl.mark_output_bus("sum", &sum);
+        let census = PathCensus::top_k(&nl, 100.0, 3);
+        assert_eq!(census.paths.len(), 3);
+        // Worst slack first = highest-order sum bit (deepest carry chain).
+        assert!(census.paths[0].delay >= census.paths[1].delay);
+    }
+}

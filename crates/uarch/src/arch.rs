@@ -1,0 +1,171 @@
+//! Architectural state and run outcomes.
+
+use crate::mem::MemFault;
+use serde::{Deserialize, Serialize};
+use tei_isa::{FReg, Reg};
+use tei_softfloat::FpOp;
+
+/// Architectural register state plus the program counter.
+#[derive(Debug, Clone)]
+pub struct ArchState {
+    x: [u64; 32],
+    f: [u64; 32],
+    /// Program counter (index into the text segment).
+    pub pc: usize,
+}
+
+impl ArchState {
+    /// Reset state: zero registers, `sp` at the stack top, given entry PC.
+    pub fn new(entry: usize, stack_top: u64) -> Self {
+        let mut s = ArchState {
+            x: [0; 32],
+            f: [0; 32],
+            pc: entry,
+        };
+        s.set_x(Reg::SP, stack_top);
+        s
+    }
+
+    /// Read an integer register (`x0` reads zero).
+    #[inline]
+    pub fn x(&self, r: Reg) -> u64 {
+        self.x[r.num() as usize]
+    }
+
+    /// Write an integer register (`x0` writes are ignored).
+    #[inline]
+    pub fn set_x(&mut self, r: Reg, v: u64) {
+        if r != Reg::ZERO {
+            self.x[r.num() as usize] = v;
+        }
+    }
+
+    /// Read an FP register's raw bits.
+    #[inline]
+    pub fn f(&self, r: FReg) -> u64 {
+        self.f[r.num() as usize]
+    }
+
+    /// Write an FP register's raw bits.
+    #[inline]
+    pub fn set_f(&mut self, r: FReg, v: u64) {
+        self.f[r.num() as usize] = v;
+    }
+}
+
+/// A precise architectural trap — the paper's Crash category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trap {
+    /// Data-memory access fault.
+    Mem {
+        /// Faulting address.
+        addr: u64,
+        /// True for stores.
+        store: bool,
+    },
+    /// Control transfer outside the text segment.
+    BadPc(u64),
+    /// Floating-point exception (invalid operation or division by zero)
+    /// with traps enabled, as the paper's crash taxonomy includes.
+    FpException,
+    /// Unknown environment-call number.
+    BadSyscall(u64),
+}
+
+impl From<MemFault> for Trap {
+    fn from(f: MemFault) -> Trap {
+        Trap::Mem {
+            addr: f.addr,
+            store: f.store,
+        }
+    }
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::Mem { addr, store: true } => write!(f, "store fault at {addr:#x}"),
+            Trap::Mem { addr, store: false } => write!(f, "load fault at {addr:#x}"),
+            Trap::BadPc(pc) => write!(f, "control transfer to invalid pc {pc:#x}"),
+            Trap::FpException => write!(f, "floating-point exception"),
+            Trap::BadSyscall(n) => write!(f, "unknown syscall {n}"),
+        }
+    }
+}
+
+/// Why a simulation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExitReason {
+    /// Program invoked the exit service with this code.
+    Exited(i64),
+    /// Program executed `halt`.
+    Halted,
+    /// Architectural trap (crash).
+    Trapped(Trap),
+    /// The step/cycle budget ran out (timeout / livelock guard).
+    Limit,
+}
+
+impl ExitReason {
+    /// True for a clean termination (exit code 0 or halt).
+    pub fn is_success(&self) -> bool {
+        matches!(self, ExitReason::Halted | ExitReason::Exited(0))
+    }
+}
+
+/// One dynamic execution of a modeled FPU operation — the injection hook's
+/// view (the paper's destination-register `ORd` write).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpEvent {
+    /// Zero-based index among the dynamic FP operations of this run.
+    pub index: u64,
+    /// The operation.
+    pub op: FpOp,
+    /// First operand's raw bits (integer operand for I2F).
+    pub a: u64,
+    /// Second operand's raw bits (0 for unary operations).
+    pub b: u64,
+    /// Fault-free result bits about to be written to the destination.
+    pub result: u64,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Why the run ended.
+    pub exit: ExitReason,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Dynamic FP operations retired.
+    pub fp_ops: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut s = ArchState::new(0, 0x1000);
+        s.set_x(Reg::ZERO, 77);
+        assert_eq!(s.x(Reg::ZERO), 0);
+        s.set_x(Reg::A0, 77);
+        assert_eq!(s.x(Reg::A0), 77);
+    }
+
+    #[test]
+    fn sp_initialized() {
+        let s = ArchState::new(5, 0xdead0);
+        assert_eq!(s.x(Reg::SP), 0xdead0);
+        assert_eq!(s.pc, 5);
+    }
+
+    #[test]
+    fn exit_reason_success() {
+        assert!(ExitReason::Halted.is_success());
+        assert!(ExitReason::Exited(0).is_success());
+        assert!(!ExitReason::Exited(1).is_success());
+        assert!(!ExitReason::Trapped(Trap::FpException).is_success());
+        assert!(!ExitReason::Limit.is_success());
+    }
+}

@@ -1,0 +1,149 @@
+//! Flat little-endian data memory with fault detection.
+
+use tei_isa::DATA_BASE;
+
+/// A data-memory access fault (address out of the mapped range).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemFault {
+    /// Faulting address.
+    pub addr: u64,
+    /// True for a store, false for a load.
+    pub store: bool,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} fault at {:#x}",
+            if self.store { "store" } else { "load" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// Byte-addressed little-endian memory mapped at [`DATA_BASE`].
+///
+/// Accesses below the base or beyond the end fault — the mechanism by which
+/// corrupted pointer values turn into the paper's Crash outcomes.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocate `size` bytes and load `image` at the base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image exceeds the memory size.
+    pub fn with_image(size: usize, image: &[u8]) -> Self {
+        assert!(image.len() <= size, "data image larger than memory");
+        let mut bytes = vec![0u8; size];
+        bytes[..image.len()].copy_from_slice(image);
+        Memory { bytes }
+    }
+
+    /// Memory size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when sized zero (never in practice).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    #[inline]
+    fn offset(&self, addr: u64, width: usize, store: bool) -> Result<usize, MemFault> {
+        let off = addr.wrapping_sub(DATA_BASE);
+        if off.checked_add(width as u64).is_none_or(|end| end > self.bytes.len() as u64) {
+            return Err(MemFault { addr, store });
+        }
+        Ok(off as usize)
+    }
+
+    /// Load `WIDTH` bytes little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the access leaves the mapped range.
+    #[inline]
+    pub fn load(&self, addr: u64, width: usize) -> Result<u64, MemFault> {
+        let off = self.offset(addr, width, false)?;
+        let mut v = 0u64;
+        for i in 0..width {
+            v |= (self.bytes[off + i] as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Store the low `width` bytes of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the access leaves the mapped range.
+    #[inline]
+    pub fn store(&mut self, addr: u64, width: usize, value: u64) -> Result<(), MemFault> {
+        let off = self.offset(addr, width, true)?;
+        for i in 0..width {
+            self.bytes[off + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Read a block (for output comparison), faulting on range errors.
+    ///
+    /// # Errors
+    ///
+    /// Faults when the block leaves the mapped range.
+    pub fn read_block(&self, addr: u64, len: usize) -> Result<&[u8], MemFault> {
+        let off = self.offset(addr, len, false)?;
+        Ok(&self.bytes[off..off + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = Memory::with_image(4096, &[]);
+        for (w, v) in [(1usize, 0xabu64), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
+            m.store(DATA_BASE + 128, w, v).unwrap();
+            assert_eq!(m.load(DATA_BASE + 128, w).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::with_image(64, &[]);
+        m.store(DATA_BASE, 4, 0x0403_0201).unwrap();
+        assert_eq!(m.load(DATA_BASE, 1).unwrap(), 0x01);
+        assert_eq!(m.load(DATA_BASE + 3, 1).unwrap(), 0x04);
+    }
+
+    #[test]
+    fn faults_outside_mapped_range() {
+        let mut m = Memory::with_image(64, &[]);
+        assert!(m.load(DATA_BASE - 1, 1).is_err());
+        assert!(m.load(DATA_BASE + 64, 1).is_err());
+        assert!(m.load(DATA_BASE + 63, 2).is_err());
+        assert!(m.load(0, 8).is_err());
+        assert!(m.load(u64::MAX, 8).is_err(), "wrap-around guarded");
+        assert!(m.store(DATA_BASE + 60, 8, 0).is_err());
+        let f = m.store(0x10, 4, 1).unwrap_err();
+        assert!(f.store);
+    }
+
+    #[test]
+    fn image_loaded_at_base() {
+        let m = Memory::with_image(64, &[9, 8, 7]);
+        assert_eq!(m.load(DATA_BASE, 1).unwrap(), 9);
+        assert_eq!(m.load(DATA_BASE + 2, 1).unwrap(), 7);
+        assert_eq!(m.load(DATA_BASE + 3, 1).unwrap(), 0);
+    }
+}

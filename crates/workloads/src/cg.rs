@@ -1,0 +1,247 @@
+//! Conjugate gradient (NAS `cg`).
+//!
+//! CG iterations on a dense symmetric positive-definite system, followed by
+//! the NAS-style self-verification step — the paper's "Verification
+//! checking" classification criterion. The output carries the verdict plus
+//! quantized solution statistics, so both caught and silent corruptions
+//! surface as output differences.
+
+use crate::helpers::{
+    emit_half_constant, emit_newton_sqrt, emit_put_f64_scaled, emit_put_int, newton_sqrt_native,
+    put_f64_scaled_native, put_int_native,
+};
+use crate::{Benchmark, BenchmarkId, Scale};
+use tei_isa::{FReg, ProgramBuilder, Reg};
+
+/// (matrix dimension, CG iterations) per scale.
+pub fn params(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (8, 12),
+        Scale::Small => (28, 25),
+        Scale::Full => (64, 60),
+    }
+}
+
+const SQRT_ITERS: usize = 5;
+const EPS: f64 = 1e-8;
+
+/// The SPD system: `A = N·I + M^T M`-style diagonally dominant matrix and
+/// right-hand side `b = A · 1`, so the exact solution is all-ones.
+pub fn inputs(scale: Scale) -> (Vec<f64>, Vec<f64>) {
+    let (n, _) = params(scale);
+    let mut a = vec![0f64; n * n];
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    for i in 0..n {
+        for j in 0..=i {
+            let v = next();
+            a[i * n + j] = v;
+            a[j * n + i] = v;
+        }
+        a[i * n + i] += n as f64; // diagonal dominance → SPD
+    }
+    let mut b = vec![0f64; n];
+    for i in 0..n {
+        b[i] = a[i * n..i * n + n].iter().sum();
+    }
+    (a, b)
+}
+
+/// Build the simulator program.
+pub fn build(scale: Scale) -> Benchmark {
+    let (n, iters) = params(scale);
+    let (a, b) = inputs(scale);
+    let mut p = ProgramBuilder::new();
+    let a_addr = p.doubles(&a);
+    let b_addr = p.doubles(&b);
+    let x_addr = p.zeros(8 * n);
+    p.align(8);
+    let r_addr = p.zeros(8 * n);
+    let p_addr = p.zeros(8 * n);
+    let q_addr = p.zeros(8 * n);
+
+    let (acc, t1, t2) = (FReg::new(1), FReg::new(2), FReg::new(3));
+    let (rho, alpha, beta, rho_new) = (FReg::new(10), FReg::new(11), FReg::new(12), FReg::new(13));
+
+    emit_half_constant(&mut p);
+    p.la(Reg::S0, a_addr);
+    p.la(Reg::S1, x_addr);
+    p.la(Reg::S2, r_addr);
+    p.la(Reg::S3, p_addr);
+    p.la(Reg::S4, q_addr);
+    p.la(Reg::S5, b_addr);
+    p.li(Reg::S10, n as i64);
+
+    // r = b; p = b; rho = r·r
+    let mk_idx8 = |pb: &mut ProgramBuilder, i: Reg, base: Reg, dst: Reg| {
+        pb.slli(Reg::T0, i, 3);
+        pb.add(dst, base, Reg::T0);
+    };
+    p.li(Reg::S6, 0);
+    p.fli(rho, 0.0, Reg::T6);
+    let init_loop = p.here();
+    mk_idx8(&mut p, Reg::S6, Reg::S5, Reg::T1);
+    p.fld(t1, 0, Reg::T1);
+    mk_idx8(&mut p, Reg::S6, Reg::S2, Reg::T1);
+    p.fsd(t1, 0, Reg::T1);
+    mk_idx8(&mut p, Reg::S6, Reg::S3, Reg::T1);
+    p.fsd(t1, 0, Reg::T1);
+    p.fmul_d(t2, t1, t1);
+    p.fadd_d(rho, rho, t2);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.blt(Reg::S6, Reg::S10, init_loop);
+
+    p.li(Reg::S11, iters as i64);
+    let cg_loop = p.here();
+    // q = A p  and  pq = p·q
+    let pq = FReg::new(14);
+    p.fli(pq, 0.0, Reg::T6);
+    p.li(Reg::S6, 0); // i
+    let mv_i = p.here();
+    p.fli(acc, 0.0, Reg::T6);
+    p.li(Reg::S7, 0); // j
+    // row pointer = A + i*n*8
+    p.li(Reg::T0, (8 * n) as i64);
+    p.mul(Reg::T0, Reg::S6, Reg::T0);
+    p.add(Reg::S8, Reg::S0, Reg::T0);
+    let mv_j = p.here();
+    p.slli(Reg::T0, Reg::S7, 3);
+    p.add(Reg::T1, Reg::S8, Reg::T0);
+    p.fld(t1, 0, Reg::T1);
+    p.add(Reg::T1, Reg::S3, Reg::T0);
+    p.fld(t2, 0, Reg::T1);
+    p.fmul_d(t1, t1, t2);
+    p.fadd_d(acc, acc, t1);
+    p.addi(Reg::S7, Reg::S7, 1);
+    p.blt(Reg::S7, Reg::S10, mv_j);
+    mk_idx8(&mut p, Reg::S6, Reg::S4, Reg::T1);
+    p.fsd(acc, 0, Reg::T1);
+    mk_idx8(&mut p, Reg::S6, Reg::S3, Reg::T1);
+    p.fld(t2, 0, Reg::T1);
+    p.fmul_d(t2, t2, acc);
+    p.fadd_d(pq, pq, t2);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.blt(Reg::S6, Reg::S10, mv_i);
+    // alpha = rho / pq
+    p.fdiv_d(alpha, rho, pq);
+    // x += alpha p; r -= alpha q; rho_new = r·r
+    p.fli(rho_new, 0.0, Reg::T6);
+    p.li(Reg::S6, 0);
+    let upd_loop = p.here();
+    p.slli(Reg::T0, Reg::S6, 3);
+    p.add(Reg::T1, Reg::S3, Reg::T0);
+    p.fld(t1, 0, Reg::T1);
+    p.fmul_d(t1, t1, alpha);
+    p.add(Reg::T1, Reg::S1, Reg::T0);
+    p.fld(t2, 0, Reg::T1);
+    p.fadd_d(t2, t2, t1);
+    p.fsd(t2, 0, Reg::T1);
+    p.add(Reg::T1, Reg::S4, Reg::T0);
+    p.fld(t1, 0, Reg::T1);
+    p.fmul_d(t1, t1, alpha);
+    p.add(Reg::T1, Reg::S2, Reg::T0);
+    p.fld(t2, 0, Reg::T1);
+    p.fsub_d(t2, t2, t1);
+    p.fsd(t2, 0, Reg::T1);
+    p.fmul_d(t1, t2, t2);
+    p.fadd_d(rho_new, rho_new, t1);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.blt(Reg::S6, Reg::S10, upd_loop);
+    // beta = rho_new/rho; rho = rho_new; p = r + beta p
+    p.fdiv_d(beta, rho_new, rho);
+    p.fmv_d(rho, rho_new);
+    p.li(Reg::S6, 0);
+    let pup_loop = p.here();
+    p.slli(Reg::T0, Reg::S6, 3);
+    p.add(Reg::T1, Reg::S3, Reg::T0);
+    p.fld(t1, 0, Reg::T1);
+    p.fmul_d(t1, t1, beta);
+    p.add(Reg::T2, Reg::S2, Reg::T0);
+    p.fld(t2, 0, Reg::T2);
+    p.fadd_d(t1, t2, t1);
+    p.fsd(t1, 0, Reg::T1);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.blt(Reg::S6, Reg::S10, pup_loop);
+    p.addi(Reg::S11, Reg::S11, -1);
+    p.bne(Reg::S11, Reg::ZERO, cg_loop);
+
+    // Verification: rnorm = sqrt(rho) < EPS·n, xsum = Σ x.
+    let (rnorm, xsum, eps) = (FReg::new(15), FReg::new(16), FReg::new(17));
+    emit_newton_sqrt(&mut p, rnorm, rho, SQRT_ITERS);
+    p.fli(eps, EPS, Reg::T6);
+    p.fcvt_d_l(t1, Reg::S10);
+    p.fmul_d(eps, eps, t1);
+    p.flt_d(Reg::T2, rnorm, eps);
+    emit_put_int(&mut p, Reg::T2); // verdict line
+    p.fli(xsum, 0.0, Reg::T6);
+    p.li(Reg::S6, 0);
+    let sum_loop = p.here();
+    mk_idx8(&mut p, Reg::S6, Reg::S1, Reg::T1);
+    p.fld(t1, 0, Reg::T1);
+    p.fadd_d(xsum, xsum, t1);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.blt(Reg::S6, Reg::S10, sum_loop);
+    emit_put_f64_scaled(&mut p, xsum, 1e6);
+    emit_put_f64_scaled(&mut p, rnorm, 1e12);
+    p.halt();
+
+    Benchmark {
+        id: BenchmarkId::Cg,
+        input_desc: format!("N={n}, {iters} CG iterations"),
+        classification: "Verification checking",
+        program: p.finish(),
+    }
+}
+
+/// Native reference (identical operation order).
+pub fn native_output(scale: Scale) -> Vec<u8> {
+    let (n, iters) = params(scale);
+    let (a, b) = inputs(scale);
+    let mut x = vec![0f64; n];
+    let mut r = b.clone();
+    let mut pv = b.clone();
+    let mut q = vec![0f64; n];
+    let mut rho = 0.0;
+    for bi in b.iter().take(n) {
+        rho += bi * bi;
+    }
+    for _ in 0..iters {
+        let mut pq = 0.0;
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += a[i * n + j] * pv[j];
+            }
+            q[i] = acc;
+            pq += pv[i] * acc;
+        }
+        let alpha = rho / pq;
+        let mut rho_new = 0.0;
+        for i in 0..n {
+            x[i] += pv[i] * alpha;
+            r[i] -= q[i] * alpha;
+            rho_new += r[i] * r[i];
+        }
+        let beta = rho_new / rho;
+        rho = rho_new;
+        for i in 0..n {
+            pv[i] = r[i] + pv[i] * beta;
+        }
+    }
+    let rnorm = newton_sqrt_native(rho, SQRT_ITERS);
+    let eps = EPS * n as f64;
+    let mut out = Vec::new();
+    put_int_native(&mut out, (rnorm < eps) as i64);
+    let mut xsum = 0.0;
+    for &xi in &x {
+        xsum += xi;
+    }
+    put_f64_scaled_native(&mut out, xsum, 1e6);
+    put_f64_scaled_native(&mut out, rnorm, 1e12);
+    out
+}

@@ -1,0 +1,183 @@
+//! Shared kernel-construction helpers: the NAS-style `randlc` pseudorandom
+//! generator, inline Newton square roots, and quantized output emitters.
+//!
+//! Register conventions (documented per helper) are manual; kernels reserve
+//! `f19`–`f31` and `t5`/`t6` for helper plumbing.
+
+use tei_isa::{FReg, Label, ProgramBuilder, Reg, Syscall};
+
+/// NAS `randlc` multiplicative LCG constants.
+pub const R23: f64 = 1.0 / (1u64 << 23) as f64;
+/// 2^23.
+pub const T23: f64 = (1u64 << 23) as f64;
+/// 2^-46.
+pub const R46: f64 = R23 * R23;
+/// 2^46.
+pub const T46: f64 = T23 * T23;
+/// The NAS LCG multiplier 5^13.
+pub const RANDLC_A: f64 = 1220703125.0;
+
+/// Emit the `randlc` subroutine and return its entry label.
+///
+/// Calling convention: `f20` = seed (updated), `f21` = multiplier,
+/// `f24..f27` = (r23, t23, r46, t46) preloaded by
+/// [`emit_randlc_constants`]; result in `f19`; clobbers `f1`–`f8`, `t5`.
+///
+/// The double-precision splitting arithmetic is exactly NAS's: it leans on
+/// fp-mul and the float↔int conversions, which is why the paper's Figure 6
+/// studies the `is` program's fp-mul bit error ratios.
+pub fn emit_randlc_subroutine(p: &mut ProgramBuilder) -> Label {
+    let entry = p.here();
+    let (f1, f2, f3, f4, f5, f6, f7, f8) = (
+        FReg::new(1),
+        FReg::new(2),
+        FReg::new(3),
+        FReg::new(4),
+        FReg::new(5),
+        FReg::new(6),
+        FReg::new(7),
+        FReg::new(8),
+    );
+    let (x, a, out) = (FReg::new(20), FReg::new(21), FReg::new(19));
+    let (r23, t23, r46, t46) = (FReg::new(24), FReg::new(25), FReg::new(26), FReg::new(27));
+    let t5 = Reg::T5;
+    let trunc = |p: &mut ProgramBuilder, dst: FReg, src: FReg| {
+        p.fcvt_l_d(t5, src);
+        p.fcvt_d_l(dst, t5);
+    };
+    // a1 = trunc(r23*a); a2 = a - t23*a1
+    p.fmul_d(f1, r23, a);
+    trunc(p, f2, f1);
+    p.fmul_d(f4, t23, f2);
+    p.fsub_d(f3, a, f4);
+    // x1 = trunc(r23*x); x2 = x - t23*x1
+    p.fmul_d(f1, r23, x);
+    trunc(p, f5, f1);
+    p.fmul_d(f4, t23, f5);
+    p.fsub_d(f6, x, f4);
+    // t1 = a1*x2 + a2*x1
+    p.fmul_d(f1, f2, f6);
+    p.fmul_d(f4, f3, f5);
+    p.fadd_d(f1, f1, f4);
+    // t2 = trunc(r23*t1); z = t1 - t23*t2
+    p.fmul_d(f4, r23, f1);
+    trunc(p, f7, f4);
+    p.fmul_d(f4, t23, f7);
+    p.fsub_d(f8, f1, f4);
+    // t3 = t23*z + a2*x2
+    p.fmul_d(f1, t23, f8);
+    p.fmul_d(f4, f3, f6);
+    p.fadd_d(f1, f1, f4);
+    // t4 = trunc(r46*t3); x = t3 - t46*t4
+    p.fmul_d(f4, r46, f1);
+    trunc(p, f7, f4);
+    p.fmul_d(f4, t46, f7);
+    p.fsub_d(x, f1, f4);
+    // result = r46 * x
+    p.fmul_d(out, r46, x);
+    p.ret();
+    entry
+}
+
+/// Load the `randlc` constants into `f24..f27` and the multiplier 5^13
+/// into `f21` (clobbers `t6`).
+pub fn emit_randlc_constants(p: &mut ProgramBuilder) {
+    p.fli(FReg::new(24), R23, Reg::T6);
+    p.fli(FReg::new(25), T23, Reg::T6);
+    p.fli(FReg::new(26), R46, Reg::T6);
+    p.fli(FReg::new(27), T46, Reg::T6);
+    p.fli(FReg::new(21), RANDLC_A, Reg::T6);
+}
+
+/// Native mirror of the emitted `randlc` (same operation order), for golden
+/// reference implementations.
+pub fn randlc_native(x: &mut f64, a: f64) -> f64 {
+    let t1 = R23 * a;
+    let a1 = (t1 as i64) as f64;
+    let a2 = a - T23 * a1;
+    let t1 = R23 * *x;
+    let x1 = (t1 as i64) as f64;
+    let x2 = *x - T23 * x1;
+    let t1 = a1 * x2 + a2 * x1;
+    let t2 = ((R23 * t1) as i64) as f64;
+    let z = t1 - T23 * t2;
+    let t3 = T23 * z + a2 * x2;
+    let t4 = ((R46 * t3) as i64) as f64;
+    *x = t3 - T46 * t4;
+    R46 * *x
+}
+
+/// Exponent-halving Newton seed constant: `(1023 << 51)`.
+const SQRT_SEED_BIAS: u64 = 1023u64 << 51;
+
+/// Inline a Newton-iteration square root: `dst = sqrt(src)`.
+///
+/// Seeds with the classic exponent-halving bit trick
+/// `bits(s0) = (bits(x) >> 1) + (1023 << 51)` (within ~6 % of the root for
+/// every normal double), then `iters` iterations of `s = 0.5·(s + x/s)` —
+/// heavy in fp-div and fp-mul, as the sobel magnitude computation is in
+/// the original C program. Clobbers `f30`, `f31`, `t5`; uses the 0.5
+/// constant in `f28`. `src` must be non-negative.
+pub fn emit_newton_sqrt(p: &mut ProgramBuilder, dst: FReg, src: FReg, iters: usize) {
+    let half = FReg::new(28);
+    let s = FReg::new(30);
+    let t = FReg::new(31);
+    p.fmv_x_d(Reg::T5, src);
+    p.srli(Reg::T5, Reg::T5, 1);
+    p.li(Reg::T6, SQRT_SEED_BIAS as i64);
+    p.add(Reg::T5, Reg::T5, Reg::T6);
+    p.fmv_d_x(s, Reg::T5);
+    for _ in 0..iters {
+        p.fdiv_d(t, src, s);
+        p.fadd_d(t, t, s);
+        p.fmul_d(s, t, half);
+    }
+    p.fmv_d(dst, s);
+}
+
+/// Native mirror of [`emit_newton_sqrt`].
+pub fn newton_sqrt_native(x: f64, iters: usize) -> f64 {
+    let mut s = f64::from_bits((x.to_bits() >> 1).wrapping_add(SQRT_SEED_BIAS));
+    for _ in 0..iters {
+        let t = x / s + s;
+        s = t * 0.5;
+    }
+    s
+}
+
+/// Load the constant 0.5 into `f28` (used by the sqrt helper; clobbers `t6`).
+pub fn emit_half_constant(p: &mut ProgramBuilder) {
+    p.fli(FReg::new(28), 0.5, Reg::T6);
+}
+
+/// Emit: print `trunc(f_src × scale)` as a decimal integer followed by a
+/// newline. Clobbers `f29`, `f31`, `a0`, `a7`, `t6`.
+pub fn emit_put_f64_scaled(p: &mut ProgramBuilder, src: FReg, scale: f64) {
+    p.fli(FReg::new(29), scale, Reg::T6);
+    p.fmul_d(FReg::new(31), src, FReg::new(29));
+    p.fcvt_l_d(Reg::A0, FReg::new(31));
+    p.syscall(Syscall::PutInt);
+    p.li(Reg::A0, b'\n' as i64);
+    p.syscall(Syscall::PutByte);
+}
+
+/// Native mirror of [`emit_put_f64_scaled`] (append to an output vec).
+pub fn put_f64_scaled_native(out: &mut Vec<u8>, v: f64, scale: f64) {
+    let q = (v * scale) as i64;
+    out.extend_from_slice(q.to_string().as_bytes());
+    out.push(b'\n');
+}
+
+/// Emit: print the integer in `r` followed by a newline (clobbers `a0`, `a7`).
+pub fn emit_put_int(p: &mut ProgramBuilder, r: Reg) {
+    p.mv(Reg::A0, r);
+    p.syscall(Syscall::PutInt);
+    p.li(Reg::A0, b'\n' as i64);
+    p.syscall(Syscall::PutByte);
+}
+
+/// Native mirror of [`emit_put_int`].
+pub fn put_int_native(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(v.to_string().as_bytes());
+    out.push(b'\n');
+}

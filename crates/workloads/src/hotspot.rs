@@ -1,0 +1,169 @@
+//! Thermal simulation (Rodinia's `hotspot`).
+//!
+//! Explicit finite-difference heat diffusion over a 2-D die grid with a
+//! per-cell power map; interior cells update each step, borders stay fixed.
+//! Output is every temperature quantized to millikelvin — the paper's
+//! "File Output" classification criterion.
+
+use crate::helpers::{emit_put_f64_scaled, put_f64_scaled_native};
+use crate::{Benchmark, BenchmarkId, Scale};
+use tei_isa::{FReg, ProgramBuilder, Reg};
+
+/// (width, height, steps) per scale.
+pub fn params(scale: Scale) -> (usize, usize, usize) {
+    match scale {
+        Scale::Test => (10, 8, 4),
+        Scale::Small => (30, 24, 10),
+        Scale::Full => (64, 64, 16),
+    }
+}
+
+const C_POWER: f64 = 0.1;
+const C_NEIGHBOR: f64 = 0.125;
+const C_AMBIENT: f64 = 0.05;
+const AMBIENT: f64 = 80.0;
+
+/// Initial temperature and power maps (deterministic synthetic die).
+pub fn inputs(scale: Scale) -> (Vec<f64>, Vec<f64>) {
+    let (w, h, _) = params(scale);
+    let mut temp = Vec::with_capacity(w * h);
+    let mut power = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            temp.push(320.0 + ((x * 31 + y * 17) % 16) as f64 * 0.5);
+            // Two hot functional blocks on the die.
+            let hot = ((x > w / 5 && x < w / 2 && y > h / 4 && y < h / 2) as u64) as f64;
+            let hot2 = ((x > w / 2 && y > 2 * h / 3) as u64) as f64;
+            power.push(hot * 6.0 + hot2 * 4.0 + ((x + y) % 5) as f64 * 0.1);
+        }
+    }
+    (temp, power)
+}
+
+/// Build the simulator program.
+pub fn build(scale: Scale) -> Benchmark {
+    let (w, h, steps) = params(scale);
+    let (temp, power) = inputs(scale);
+    let mut p = ProgramBuilder::new();
+    let t_addr = p.doubles(&temp);
+    let t2_addr = p.doubles(&temp); // ping-pong buffer starts as a copy
+    let p_addr = p.doubles(&power);
+    let row_bytes = (8 * w) as i16;
+
+    let (ft, fn_, fs, fe, fw_) = (
+        FReg::new(1),
+        FReg::new(2),
+        FReg::new(3),
+        FReg::new(4),
+        FReg::new(5),
+    );
+    let (acc, tmp, fpw) = (FReg::new(6), FReg::new(7), FReg::new(8));
+    let (cp, cn, ca, amb) = (FReg::new(20), FReg::new(21), FReg::new(22), FReg::new(23));
+    p.fli(cp, C_POWER, Reg::T6);
+    p.fli(cn, C_NEIGHBOR, Reg::T6);
+    p.fli(ca, C_AMBIENT, Reg::T6);
+    p.fli(amb, AMBIENT, Reg::T6);
+
+    p.la(Reg::S0, t_addr); // source buffer
+    p.la(Reg::S1, t2_addr); // destination buffer
+    p.la(Reg::S2, p_addr);
+    p.li(Reg::S5, steps as i64);
+    let step_loop = p.here();
+    p.li(Reg::S3, 1); // y
+    let y_loop = p.here();
+    p.li(Reg::T0, w as i64);
+    p.mul(Reg::T0, Reg::S3, Reg::T0);
+    p.slli(Reg::T0, Reg::T0, 3);
+    p.add(Reg::S6, Reg::S0, Reg::T0); // src row
+    p.add(Reg::S7, Reg::S1, Reg::T0); // dst row
+    p.add(Reg::S8, Reg::S2, Reg::T0); // power row
+    p.li(Reg::S4, 1); // x
+    let x_loop = p.here();
+    p.slli(Reg::T1, Reg::S4, 3);
+    p.add(Reg::T2, Reg::S6, Reg::T1);
+    p.fld(ft, 0, Reg::T2);
+    p.fld(fn_, -row_bytes, Reg::T2);
+    p.fld(fs, row_bytes, Reg::T2);
+    p.fld(fw_, -8, Reg::T2);
+    p.fld(fe, 8, Reg::T2);
+    p.add(Reg::T3, Reg::S8, Reg::T1);
+    p.fld(fpw, 0, Reg::T3);
+    // acc = t + cp*pw + cn*(n+s+e+w - 4t) + ca*(amb - t)
+    p.fadd_d(tmp, fn_, fs);
+    p.fadd_d(tmp, tmp, fe);
+    p.fadd_d(tmp, tmp, fw_);
+    p.fadd_d(acc, ft, ft);
+    p.fadd_d(acc, acc, acc); // 4t
+    p.fsub_d(tmp, tmp, acc);
+    p.fmul_d(tmp, tmp, cn);
+    p.fmul_d(acc, fpw, cp);
+    p.fadd_d(acc, acc, tmp);
+    p.fsub_d(tmp, amb, ft);
+    p.fmul_d(tmp, tmp, ca);
+    p.fadd_d(acc, acc, tmp);
+    p.fadd_d(acc, acc, ft);
+    p.add(Reg::T3, Reg::S7, Reg::T1);
+    p.fsd(acc, 0, Reg::T3);
+    p.addi(Reg::S4, Reg::S4, 1);
+    p.li(Reg::T0, w as i64 - 1);
+    p.blt(Reg::S4, Reg::T0, x_loop);
+    p.addi(Reg::S3, Reg::S3, 1);
+    p.li(Reg::T0, h as i64 - 1);
+    p.blt(Reg::S3, Reg::T0, y_loop);
+    // Swap buffers.
+    p.mv(Reg::T0, Reg::S0);
+    p.mv(Reg::S0, Reg::S1);
+    p.mv(Reg::S1, Reg::T0);
+    p.addi(Reg::S5, Reg::S5, -1);
+    p.bne(Reg::S5, Reg::ZERO, step_loop);
+
+    // Emit the final grid (source buffer after the last swap).
+    p.li(Reg::S3, 0);
+    let out_loop = p.here();
+    p.slli(Reg::T0, Reg::S3, 3);
+    p.add(Reg::T1, Reg::S0, Reg::T0);
+    p.fld(FReg::new(9), 0, Reg::T1);
+    emit_put_f64_scaled(&mut p, FReg::new(9), 1000.0);
+    p.addi(Reg::S3, Reg::S3, 1);
+    p.li(Reg::T0, (w * h) as i64);
+    p.blt(Reg::S3, Reg::T0, out_loop);
+    p.halt();
+
+    Benchmark {
+        id: BenchmarkId::Hotspot,
+        input_desc: format!("{w} {h} {steps}"),
+        classification: "File Output",
+        program: p.finish(),
+    }
+}
+
+/// Native reference (identical operation order and quantization).
+pub fn native_output(scale: Scale) -> Vec<u8> {
+    let (w, h, steps) = params(scale);
+    let (temp, power) = inputs(scale);
+    let mut src = temp.clone();
+    let mut dst = temp;
+    for _ in 0..steps {
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let i = y * w + x;
+                let t = src[i];
+                let sum = src[i - w] + src[i + w] + src[i + 1] + src[i - 1];
+                let four_t = {
+                    let acc = t + t;
+                    acc + acc
+                };
+                let conduct = (sum - four_t) * C_NEIGHBOR;
+                let acc = power[i] * C_POWER + conduct;
+                let acc = acc + (AMBIENT - t) * C_AMBIENT;
+                dst[i] = acc + t;
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    let mut out = Vec::new();
+    for &t in &src {
+        put_f64_scaled_native(&mut out, t, 1000.0);
+    }
+    out
+}

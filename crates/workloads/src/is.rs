@@ -1,0 +1,118 @@
+//! Integer sort (NAS `is`).
+//!
+//! Key generation uses the NAS floating-point `randlc` chain (fp-mul and
+//! conversion heavy — the workload behind the paper's Figure 6), followed
+//! by an integer counting sort and the NAS-style self-verification. Keys
+//! index the count array directly, so a corrupted key value can fault —
+//! the Crash path of this benchmark.
+
+use crate::helpers::{
+    emit_put_int, emit_randlc_constants, emit_randlc_subroutine, put_int_native, randlc_native,
+    RANDLC_A,
+};
+use crate::{Benchmark, BenchmarkId, Scale};
+use tei_isa::{FReg, ProgramBuilder, Reg};
+
+/// (keys, key range) per scale.
+pub fn params(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (256, 256),
+        Scale::Small => (4096, 2048),
+        Scale::Full => (32768, 8192),
+    }
+}
+
+const SEED: f64 = 314159265.0;
+
+/// Build the simulator program.
+pub fn build(scale: Scale) -> Benchmark {
+    let (n, range) = params(scale);
+    let mut p = ProgramBuilder::new();
+    let counts = p.zeros(8 * range);
+
+    // Jump over the subroutine body.
+    let start = p.label();
+    p.j(start);
+    let randlc = emit_randlc_subroutine(&mut p);
+    p.bind(start);
+
+    emit_randlc_constants(&mut p);
+    p.fli(FReg::new(20), SEED, Reg::T6); // x state
+    p.fli(FReg::new(22), range as f64, Reg::T6);
+    p.la(Reg::S0, counts);
+    p.li(Reg::S1, n as i64);
+
+    // Generation + counting.
+    p.li(Reg::S6, 0);
+    let gen_loop = p.here();
+    // key = trunc(range * ((r1 + r2) * 0.5)) — two draws per key.
+    p.call(randlc);
+    p.fmv_d(FReg::new(10), FReg::new(19));
+    p.call(randlc);
+    p.fadd_d(FReg::new(10), FReg::new(10), FReg::new(19));
+    p.fli(FReg::new(11), 0.5, Reg::T6);
+    p.fmul_d(FReg::new(10), FReg::new(10), FReg::new(11));
+    p.fmul_d(FReg::new(10), FReg::new(10), FReg::new(22));
+    p.fcvt_l_d(Reg::T2, FReg::new(10));
+    // counts[key]++ — unguarded, as in the original.
+    p.slli(Reg::T0, Reg::T2, 3);
+    p.add(Reg::T1, Reg::S0, Reg::T0);
+    p.ld(Reg::T3, 0, Reg::T1);
+    p.addi(Reg::T3, Reg::T3, 1);
+    p.sd(Reg::T3, 0, Reg::T1);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.blt(Reg::S6, Reg::S1, gen_loop);
+
+    // Verification: total count == n and weighted checksum.
+    p.li(Reg::S7, 0); // total
+    p.li(Reg::S8, 0); // checksum
+    p.li(Reg::S6, 0);
+    let ver_loop = p.here();
+    p.slli(Reg::T0, Reg::S6, 3);
+    p.add(Reg::T1, Reg::S0, Reg::T0);
+    p.ld(Reg::T2, 0, Reg::T1);
+    p.add(Reg::S7, Reg::S7, Reg::T2);
+    p.mul(Reg::T3, Reg::T2, Reg::S6);
+    p.add(Reg::S8, Reg::S8, Reg::T3);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.li(Reg::T0, range as i64);
+    p.blt(Reg::S6, Reg::T0, ver_loop);
+    // verdict: total == n
+    p.li(Reg::T0, n as i64);
+    p.sub(Reg::T1, Reg::S7, Reg::T0);
+    p.sltu(Reg::T2, Reg::ZERO, Reg::T1);
+    p.xori(Reg::T2, Reg::T2, 1);
+    emit_put_int(&mut p, Reg::T2);
+    emit_put_int(&mut p, Reg::S8);
+    p.halt();
+
+    Benchmark {
+        id: BenchmarkId::Is,
+        input_desc: format!("{n} keys in [0, {range})"),
+        classification: "Verification checking",
+        program: p.finish(),
+    }
+}
+
+/// Native reference (identical operation order).
+pub fn native_output(scale: Scale) -> Vec<u8> {
+    let (n, range) = params(scale);
+    let mut counts = vec![0i64; range];
+    let mut x = SEED;
+    for _ in 0..n {
+        let r1 = randlc_native(&mut x, RANDLC_A);
+        let r2 = randlc_native(&mut x, RANDLC_A);
+        let key = (((r1 + r2) * 0.5) * range as f64) as i64;
+        counts[key as usize] += 1;
+    }
+    let mut total = 0i64;
+    let mut checksum = 0i64;
+    for (i, &c) in counts.iter().enumerate() {
+        total += c;
+        checksum += c * i as i64;
+    }
+    let mut out = Vec::new();
+    put_int_native(&mut out, (total == n as i64) as i64);
+    put_int_native(&mut out, checksum);
+    out
+}

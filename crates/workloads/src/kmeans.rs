@@ -1,0 +1,213 @@
+//! k-means clustering (Rodinia's `k-means`).
+//!
+//! Lloyd iterations over 2-D points; the observable output is the final
+//! cluster *assignment* of every point (the paper's "Clustering"
+//! classification criterion), which absorbs small numeric perturbations —
+//! the reason the paper finds k-means highly error-tolerant (AVM ≈ 0).
+
+use crate::{Benchmark, BenchmarkId, Scale};
+use tei_isa::{FReg, ProgramBuilder, Reg, Syscall};
+
+/// (points, clusters, iterations) per scale.
+pub fn params(scale: Scale) -> (usize, usize, usize) {
+    match scale {
+        Scale::Test => (40, 3, 5),
+        Scale::Small => (220, 4, 15),
+        Scale::Full => (900, 6, 25),
+    }
+}
+
+/// Deterministic synthetic points clustered around `k` well-separated
+/// centers, interleaved `[x0, y0, x1, y1, …]`.
+pub fn input_points(scale: Scale) -> Vec<f64> {
+    let (n, k, _) = params(scale);
+    let mut out = Vec::with_capacity(2 * n);
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for i in 0..n {
+        let c = i % k;
+        let cx = (c % 3) as f64 * 10.0;
+        let cy = (c / 3) as f64 * 10.0;
+        out.push(cx + next() * 2.0 - 1.0);
+        out.push(cy + next() * 2.0 - 1.0);
+    }
+    out
+}
+
+/// Build the simulator program.
+pub fn build(scale: Scale) -> Benchmark {
+    let (n, k, iters) = params(scale);
+    let points = input_points(scale);
+    let mut p = ProgramBuilder::new();
+    let pts = p.doubles(&points);
+    // Initial centroids = first k points.
+    let cent = p.doubles(&points[..2 * k]);
+    let assign = p.zeros(n);
+    p.align(8);
+    let counts = p.zeros(8 * k);
+    let sums = p.zeros(16 * k);
+
+    let (px, py) = (FReg::new(1), FReg::new(2));
+    let (dx, dy, d, best_d) = (FReg::new(3), FReg::new(4), FReg::new(5), FReg::new(6));
+    let (cx, cy) = (FReg::new(10), FReg::new(11));
+    let inf = FReg::new(12);
+
+    p.fli(inf, 1e300, Reg::T6);
+    p.la(Reg::S0, pts);
+    p.la(Reg::S1, cent);
+    p.la(Reg::S2, assign);
+    p.la(Reg::S3, counts);
+    p.la(Reg::S4, sums);
+    p.li(Reg::S5, iters as i64);
+    let iter_loop = p.here();
+
+    // Zero counts and sums.
+    p.li(Reg::S8, 0);
+    let zero_loop = p.here();
+    p.slli(Reg::T0, Reg::S8, 3);
+    p.add(Reg::T1, Reg::S3, Reg::T0);
+    p.sd(Reg::ZERO, 0, Reg::T1);
+    p.slli(Reg::T0, Reg::S8, 4);
+    p.add(Reg::T1, Reg::S4, Reg::T0);
+    p.sd(Reg::ZERO, 0, Reg::T1);
+    p.sd(Reg::ZERO, 8, Reg::T1);
+    p.addi(Reg::S8, Reg::S8, 1);
+    p.li(Reg::T0, k as i64);
+    p.blt(Reg::S8, Reg::T0, zero_loop);
+
+    // Assignment pass.
+    p.li(Reg::S6, 0); // i
+    let point_loop = p.here();
+    p.slli(Reg::T0, Reg::S6, 4);
+    p.add(Reg::T1, Reg::S0, Reg::T0);
+    p.fld(px, 0, Reg::T1);
+    p.fld(py, 8, Reg::T1);
+    p.fmv_d(best_d, inf);
+    p.li(Reg::T3, 0); // best k
+    p.li(Reg::S8, 0); // k
+    let k_loop = p.here();
+    p.slli(Reg::T0, Reg::S8, 4);
+    p.add(Reg::T1, Reg::S1, Reg::T0);
+    p.fld(cx, 0, Reg::T1);
+    p.fld(cy, 8, Reg::T1);
+    p.fsub_d(dx, px, cx);
+    p.fsub_d(dy, py, cy);
+    p.fmul_d(dx, dx, dx);
+    p.fmul_d(dy, dy, dy);
+    p.fadd_d(d, dx, dy);
+    let not_better = p.label();
+    p.flt_d(Reg::T1, d, best_d);
+    p.beq(Reg::T1, Reg::ZERO, not_better);
+    p.fmv_d(best_d, d);
+    p.mv(Reg::T3, Reg::S8);
+    p.bind(not_better);
+    p.addi(Reg::S8, Reg::S8, 1);
+    p.li(Reg::T0, k as i64);
+    p.blt(Reg::S8, Reg::T0, k_loop);
+    // Record assignment; accumulate sums and counts.
+    p.add(Reg::T1, Reg::S2, Reg::S6);
+    p.sb(Reg::T3, 0, Reg::T1);
+    p.slli(Reg::T0, Reg::T3, 3);
+    p.add(Reg::T1, Reg::S3, Reg::T0);
+    p.ld(Reg::T2, 0, Reg::T1);
+    p.addi(Reg::T2, Reg::T2, 1);
+    p.sd(Reg::T2, 0, Reg::T1);
+    p.slli(Reg::T0, Reg::T3, 4);
+    p.add(Reg::T1, Reg::S4, Reg::T0);
+    p.fld(cx, 0, Reg::T1);
+    p.fadd_d(cx, cx, px);
+    p.fsd(cx, 0, Reg::T1);
+    p.fld(cy, 8, Reg::T1);
+    p.fadd_d(cy, cy, py);
+    p.fsd(cy, 8, Reg::T1);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.li(Reg::T0, n as i64);
+    p.blt(Reg::S6, Reg::T0, point_loop);
+
+    // Centroid update.
+    p.li(Reg::S8, 0);
+    let upd_loop = p.here();
+    p.slli(Reg::T0, Reg::S8, 3);
+    p.add(Reg::T1, Reg::S3, Reg::T0);
+    p.ld(Reg::T2, 0, Reg::T1);
+    let skip = p.label();
+    p.beq(Reg::T2, Reg::ZERO, skip);
+    p.fcvt_d_l(d, Reg::T2);
+    p.slli(Reg::T0, Reg::S8, 4);
+    p.add(Reg::T1, Reg::S4, Reg::T0);
+    p.add(Reg::T4, Reg::S1, Reg::T0);
+    p.fld(cx, 0, Reg::T1);
+    p.fdiv_d(cx, cx, d);
+    p.fsd(cx, 0, Reg::T4);
+    p.fld(cy, 8, Reg::T1);
+    p.fdiv_d(cy, cy, d);
+    p.fsd(cy, 8, Reg::T4);
+    p.bind(skip);
+    p.addi(Reg::S8, Reg::S8, 1);
+    p.li(Reg::T0, k as i64);
+    p.blt(Reg::S8, Reg::T0, upd_loop);
+
+    p.addi(Reg::S5, Reg::S5, -1);
+    p.bne(Reg::S5, Reg::ZERO, iter_loop);
+
+    // Emit assignments.
+    p.li(Reg::S6, 0);
+    let out_loop = p.here();
+    p.add(Reg::T1, Reg::S2, Reg::S6);
+    p.lbu(Reg::A0, 0, Reg::T1);
+    p.syscall(Syscall::PutByte);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.li(Reg::T0, n as i64);
+    p.blt(Reg::S6, Reg::T0, out_loop);
+    p.halt();
+
+    Benchmark {
+        id: BenchmarkId::Kmeans,
+        input_desc: format!("{n} points, {k} clusters, {iters} iters"),
+        classification: "Clustering",
+        program: p.finish(),
+    }
+}
+
+/// Native reference (identical operation order).
+pub fn native_output(scale: Scale) -> Vec<u8> {
+    let (n, k, iters) = params(scale);
+    let pts = input_points(scale);
+    let mut cent: Vec<f64> = pts[..2 * k].to_vec();
+    let mut assign = vec![0u8; n];
+    for _ in 0..iters {
+        let mut counts = vec![0i64; k];
+        let mut sums = vec![0f64; 2 * k];
+        for i in 0..n {
+            let (px, py) = (pts[2 * i], pts[2 * i + 1]);
+            let mut best_d = 1e300;
+            let mut best = 0usize;
+            for c in 0..k {
+                let dx = px - cent[2 * c];
+                let dy = py - cent[2 * c + 1];
+                let d = dx * dx + dy * dy;
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            assign[i] = best as u8;
+            counts[best] += 1;
+            sums[2 * best] += px;
+            sums[2 * best + 1] += py;
+        }
+        for c in 0..k {
+            if counts[c] != 0 {
+                let d = counts[c] as f64;
+                cent[2 * c] = sums[2 * c] / d;
+                cent[2 * c + 1] = sums[2 * c + 1] / d;
+            }
+        }
+    }
+    assign
+}

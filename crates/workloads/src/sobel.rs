@@ -1,0 +1,137 @@
+//! Sobel edge-detection filter (the paper's open-source image filter).
+//!
+//! Integer 3×3 gradients, floating-point magnitude `sqrt(gx² + gy²)` via
+//! Newton iteration (fp-mul/fp-add/fp-div heavy), output quantized to u8 —
+//! the paper's "Image Output" classification criterion.
+
+use crate::helpers::{emit_half_constant, emit_newton_sqrt, newton_sqrt_native};
+use crate::{Benchmark, BenchmarkId, Scale};
+use tei_isa::{FReg, ProgramBuilder, Reg, Syscall};
+
+/// Newton iterations in the magnitude square root.
+const SQRT_ITERS: usize = 6;
+
+/// Image dimensions per scale.
+pub fn dims(scale: Scale) -> (usize, usize) {
+    match scale {
+        Scale::Test => (12, 10),
+        Scale::Small => (36, 28),
+        Scale::Full => (123, 96),
+    }
+}
+
+/// Deterministic synthetic image (smooth gradients + texture), u8 pixels.
+pub fn input_image(scale: Scale) -> Vec<u8> {
+    let (w, h) = dims(scale);
+    let mut img = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            // A blob plus diagonal texture: gives edges of varied strength.
+            let cx = x as f64 - w as f64 / 2.0;
+            let cy = y as f64 - h as f64 / 2.0;
+            let blob = 200.0 * (-((cx * cx + cy * cy) / (w as f64 * 2.0))).exp();
+            let texture = (((x * 7 + y * 13) % 32) as f64) * 1.5;
+            img.push((blob + texture).min(255.0) as u8);
+        }
+    }
+    img
+}
+
+/// Build the simulator program.
+pub fn build(scale: Scale) -> Benchmark {
+    let (w, h) = dims(scale);
+    let img = input_image(scale);
+    let mut p = ProgramBuilder::new();
+    let img_addr = p.bytes(&img);
+    let wi = w as i16;
+
+    emit_half_constant(&mut p);
+    p.la(Reg::S0, img_addr);
+    p.li(Reg::S1, w as i64);
+    p.li(Reg::S2, h as i64);
+    p.li(Reg::S3, 1); // y
+    let y_loop = p.here();
+    // s5 = row pointer = img + y*w
+    p.mul(Reg::T0, Reg::S3, Reg::S1);
+    p.add(Reg::S5, Reg::S0, Reg::T0);
+    p.li(Reg::S4, 1); // x
+    let x_loop = p.here();
+    p.add(Reg::T1, Reg::S5, Reg::S4);
+    // Neighborhood loads.
+    p.lbu(Reg::T2, -wi - 1, Reg::T1); // nw
+    p.lbu(Reg::T3, -wi, Reg::T1); // n
+    p.lbu(Reg::T4, -wi + 1, Reg::T1); // ne
+    p.lbu(Reg::T5, -1, Reg::T1); // w
+    p.lbu(Reg::T6, 1, Reg::T1); // e
+    p.lbu(Reg::A1, wi - 1, Reg::T1); // sw
+    p.lbu(Reg::A2, wi, Reg::T1); // s
+    p.lbu(Reg::A3, wi + 1, Reg::T1); // se
+    // gx = (ne + 2e + se) - (nw + 2w + sw)
+    p.slli(Reg::T0, Reg::T6, 1);
+    p.add(Reg::A4, Reg::T4, Reg::T0);
+    p.add(Reg::A4, Reg::A4, Reg::A3);
+    p.slli(Reg::T0, Reg::T5, 1);
+    p.add(Reg::T0, Reg::T0, Reg::T2);
+    p.add(Reg::T0, Reg::T0, Reg::A1);
+    p.sub(Reg::A4, Reg::A4, Reg::T0);
+    // gy = (sw + 2s + se) - (nw + 2n + ne)
+    p.slli(Reg::T0, Reg::A2, 1);
+    p.add(Reg::A5, Reg::A1, Reg::T0);
+    p.add(Reg::A5, Reg::A5, Reg::A3);
+    p.slli(Reg::T0, Reg::T3, 1);
+    p.add(Reg::T0, Reg::T0, Reg::T2);
+    p.add(Reg::T0, Reg::T0, Reg::T4);
+    p.sub(Reg::A5, Reg::A5, Reg::T0);
+    // m = sqrt(gx² + gy²) in floating point.
+    let (f11, f12, f13, f10) = (FReg::new(11), FReg::new(12), FReg::new(13), FReg::new(10));
+    p.fcvt_d_l(f11, Reg::A4);
+    p.fcvt_d_l(f12, Reg::A5);
+    p.fmul_d(f11, f11, f11);
+    p.fmul_d(f12, f12, f12);
+    p.fadd_d(f13, f11, f12);
+    emit_newton_sqrt(&mut p, f10, f13, SQRT_ITERS);
+    p.fcvt_l_d(Reg::T2, f10);
+    // Clamp to 255 and emit.
+    p.li(Reg::T3, 255);
+    let no_clamp = p.label();
+    p.blt(Reg::T2, Reg::T3, no_clamp);
+    p.mv(Reg::T2, Reg::T3);
+    p.bind(no_clamp);
+    p.mv(Reg::A0, Reg::T2);
+    p.syscall(Syscall::PutByte);
+    // Loop control.
+    p.addi(Reg::S4, Reg::S4, 1);
+    p.li(Reg::T0, w as i64 - 1);
+    p.blt(Reg::S4, Reg::T0, x_loop);
+    p.addi(Reg::S3, Reg::S3, 1);
+    p.li(Reg::T0, h as i64 - 1);
+    p.blt(Reg::S3, Reg::T0, y_loop);
+    p.halt();
+
+    Benchmark {
+        id: BenchmarkId::Sobel,
+        input_desc: format!("{w} x {h}"),
+        classification: "Image Output",
+        program: p.finish(),
+    }
+}
+
+/// Native reference (identical operation order and quantization).
+pub fn native_output(scale: Scale) -> Vec<u8> {
+    let (w, h) = dims(scale);
+    let img = input_image(scale);
+    let px = |x: usize, y: usize| img[y * w + x] as i64;
+    let mut out = Vec::new();
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let gx = (px(x + 1, y - 1) + 2 * px(x + 1, y) + px(x + 1, y + 1))
+                - (px(x - 1, y - 1) + 2 * px(x - 1, y) + px(x - 1, y + 1));
+            let gy = (px(x - 1, y + 1) + 2 * px(x, y + 1) + px(x + 1, y + 1))
+                - (px(x - 1, y - 1) + 2 * px(x, y - 1) + px(x + 1, y - 1));
+            let (fx, fy) = (gx as f64, gy as f64);
+            let m = newton_sqrt_native(fx * fx + fy * fy, SQRT_ITERS);
+            out.push((m as i64).min(255) as u8);
+        }
+    }
+    out
+}

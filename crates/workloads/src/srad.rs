@@ -1,0 +1,280 @@
+//! Speckle-reducing anisotropic diffusion (Rodinia's `srad_v1`).
+//!
+//! Per iteration: image statistics (mean/variance → q0²), per-pixel
+//! diffusion coefficient from the normalized gradient (division-heavy), and
+//! an explicit diffusion update. Borders clamp. Output is the image
+//! quantized to u8 — the paper's "Image Output" criterion.
+//!
+//! Relative to Rodinia this folds the two-pass divergence into a single
+//! pass using the local coefficient (documented simplification; the
+//! instruction mix — fp-div/fp-mul dominated — is preserved).
+
+use crate::{Benchmark, BenchmarkId, Scale};
+use tei_isa::{FReg, ProgramBuilder, Reg, Syscall};
+
+/// (width, height, iterations, lambda) per scale — paper input
+/// `100 0.5 502 458 1` uses λ = 0.5.
+pub fn params(scale: Scale) -> (usize, usize, usize, f64) {
+    match scale {
+        Scale::Test => (10, 8, 3, 0.5),
+        Scale::Small => (30, 22, 8, 0.5),
+        Scale::Full => (62, 44, 16, 0.5),
+    }
+}
+
+/// Synthetic speckled image, values in [1, 256].
+pub fn input_image(scale: Scale) -> Vec<f64> {
+    let (w, h, _, _) = params(scale);
+    let mut img = Vec::with_capacity(w * h);
+    let mut state = 0xfeed_beef_cafe_f00du64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for y in 0..h {
+        for x in 0..w {
+            let base = if x < w / 2 { 60.0 } else { 180.0 };
+            let stripe = if y % 6 < 3 { 20.0 } else { -10.0 };
+            img.push((base + stripe + next() * 30.0).max(1.0));
+        }
+    }
+    img
+}
+
+/// Build the simulator program.
+#[allow(clippy::too_many_lines)]
+pub fn build(scale: Scale) -> Benchmark {
+    let (w, h, iters, lambda) = params(scale);
+    let img = input_image(scale);
+    let mut p = ProgramBuilder::new();
+    let j_addr = p.doubles(&img);
+    let size = (w * h) as i64;
+    let row = (8 * w) as i16;
+
+    let (fj, dn, ds, dw, de) = (
+        FReg::new(1),
+        FReg::new(2),
+        FReg::new(3),
+        FReg::new(4),
+        FReg::new(5),
+    );
+    let (g2, l, num, den, q) = (
+        FReg::new(6),
+        FReg::new(7),
+        FReg::new(8),
+        FReg::new(9),
+        FReg::new(10),
+    );
+    let (sum, sum2, mean, var, q0) = (
+        FReg::new(11),
+        FReg::new(12),
+        FReg::new(13),
+        FReg::new(14),
+        FReg::new(15),
+    );
+    let (c, t1, t2) = (FReg::new(16), FReg::new(17), FReg::new(18));
+    let (one, quarter, sixteenth, flam, fhalf, fzero) = (
+        FReg::new(20),
+        FReg::new(21),
+        FReg::new(22),
+        FReg::new(23),
+        FReg::new(24),
+        FReg::new(25),
+    );
+    p.fli(one, 1.0, Reg::T6);
+    p.fli(quarter, 0.25, Reg::T6);
+    p.fli(sixteenth, 1.0 / 16.0, Reg::T6);
+    p.fli(flam, lambda * 0.25, Reg::T6);
+    p.fli(fhalf, 0.5, Reg::T6);
+    p.fli(fzero, 0.0, Reg::T6);
+
+    p.la(Reg::S0, j_addr);
+    p.li(Reg::S11, iters as i64);
+    let iter_loop = p.here();
+
+    // Statistics pass: sum, sum of squares.
+    p.fmv_d(sum, fzero);
+    p.fmv_d(sum2, fzero);
+    p.li(Reg::S6, 0);
+    let stat_loop = p.here();
+    p.slli(Reg::T0, Reg::S6, 3);
+    p.add(Reg::T1, Reg::S0, Reg::T0);
+    p.fld(fj, 0, Reg::T1);
+    p.fadd_d(sum, sum, fj);
+    p.fmul_d(t1, fj, fj);
+    p.fadd_d(sum2, sum2, t1);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.li(Reg::T0, size);
+    p.blt(Reg::S6, Reg::T0, stat_loop);
+    // mean = sum/size; var = sum2/size - mean²; q0 = var/mean².
+    p.li(Reg::T0, size);
+    p.fcvt_d_l(t1, Reg::T0);
+    p.fdiv_d(mean, sum, t1);
+    p.fdiv_d(var, sum2, t1);
+    p.fmul_d(t2, mean, mean);
+    p.fsub_d(var, var, t2);
+    p.fdiv_d(q0, var, t2);
+
+    // Diffusion pass over interior pixels.
+    p.li(Reg::S3, 1); // y
+    let y_loop = p.here();
+    p.li(Reg::T0, w as i64);
+    p.mul(Reg::T0, Reg::S3, Reg::T0);
+    p.slli(Reg::T0, Reg::T0, 3);
+    p.add(Reg::S5, Reg::S0, Reg::T0);
+    p.li(Reg::S4, 1); // x
+    let x_loop = p.here();
+    p.slli(Reg::T1, Reg::S4, 3);
+    p.add(Reg::T2, Reg::S5, Reg::T1);
+    p.fld(fj, 0, Reg::T2);
+    p.fld(dn, -row, Reg::T2);
+    p.fsub_d(dn, dn, fj);
+    p.fld(ds, row, Reg::T2);
+    p.fsub_d(ds, ds, fj);
+    p.fld(dw, -8, Reg::T2);
+    p.fsub_d(dw, dw, fj);
+    p.fld(de, 8, Reg::T2);
+    p.fsub_d(de, de, fj);
+    // G² = (dn²+ds²+dw²+de²)/J² ; L = (dn+ds+dw+de)/J
+    p.fmul_d(g2, dn, dn);
+    p.fmul_d(t1, ds, ds);
+    p.fadd_d(g2, g2, t1);
+    p.fmul_d(t1, dw, dw);
+    p.fadd_d(g2, g2, t1);
+    p.fmul_d(t1, de, de);
+    p.fadd_d(g2, g2, t1);
+    p.fmul_d(t2, fj, fj);
+    p.fdiv_d(g2, g2, t2);
+    p.fadd_d(l, dn, ds);
+    p.fadd_d(l, l, dw);
+    p.fadd_d(l, l, de);
+    p.fdiv_d(l, l, fj);
+    // q = (G²/2 − L²/16) / (1 + L/4)²
+    p.fmul_d(num, g2, fhalf);
+    p.fmul_d(t1, l, l);
+    p.fmul_d(t1, t1, sixteenth);
+    p.fsub_d(num, num, t1);
+    p.fmul_d(den, l, quarter);
+    p.fadd_d(den, den, one);
+    p.fmul_d(den, den, den);
+    p.fdiv_d(q, num, den);
+    // c = 1 / (1 + (q − q0)/(q0·(1 + q0))), clamped to [0, 1]
+    p.fsub_d(t1, q, q0);
+    p.fadd_d(t2, one, q0);
+    p.fmul_d(t2, t2, q0);
+    p.fdiv_d(t1, t1, t2);
+    p.fadd_d(t1, t1, one);
+    p.fdiv_d(c, one, t1);
+    let not_low = p.label();
+    p.flt_d(Reg::T3, c, fzero);
+    p.beq(Reg::T3, Reg::ZERO, not_low);
+    p.fmv_d(c, fzero);
+    p.bind(not_low);
+    let not_high = p.label();
+    p.flt_d(Reg::T3, one, c);
+    p.beq(Reg::T3, Reg::ZERO, not_high);
+    p.fmv_d(c, one);
+    p.bind(not_high);
+    // J += λ/4 · c · (dn+ds+dw+de)
+    p.fadd_d(t1, dn, ds);
+    p.fadd_d(t1, t1, dw);
+    p.fadd_d(t1, t1, de);
+    p.fmul_d(t1, t1, c);
+    p.fmul_d(t1, t1, flam);
+    p.fadd_d(fj, fj, t1);
+    p.fsd(fj, 0, Reg::T2);
+    p.addi(Reg::S4, Reg::S4, 1);
+    p.li(Reg::T0, w as i64 - 1);
+    p.blt(Reg::S4, Reg::T0, x_loop);
+    p.addi(Reg::S3, Reg::S3, 1);
+    p.li(Reg::T0, h as i64 - 1);
+    p.blt(Reg::S3, Reg::T0, y_loop);
+    p.addi(Reg::S11, Reg::S11, -1);
+    p.bne(Reg::S11, Reg::ZERO, iter_loop);
+
+    // Output: u8-quantized image.
+    p.li(Reg::S6, 0);
+    let out_loop = p.here();
+    p.slli(Reg::T0, Reg::S6, 3);
+    p.add(Reg::T1, Reg::S0, Reg::T0);
+    p.fld(fj, 0, Reg::T1);
+    p.fcvt_l_d(Reg::T2, fj);
+    p.li(Reg::T3, 255);
+    let no_hi = p.label();
+    p.blt(Reg::T2, Reg::T3, no_hi);
+    p.mv(Reg::T2, Reg::T3);
+    p.bind(no_hi);
+    let no_lo = p.label();
+    p.bge(Reg::T2, Reg::ZERO, no_lo);
+    p.li(Reg::T2, 0);
+    p.bind(no_lo);
+    p.mv(Reg::A0, Reg::T2);
+    p.syscall(Syscall::PutByte);
+    p.addi(Reg::S6, Reg::S6, 1);
+    p.li(Reg::T0, size);
+    p.blt(Reg::S6, Reg::T0, out_loop);
+    p.halt();
+
+    Benchmark {
+        id: BenchmarkId::SradV1,
+        input_desc: format!("{iters} {lambda} {h} {w} 1"),
+        classification: "Image Output",
+        program: p.finish(),
+    }
+}
+
+/// Native reference (identical operation order).
+pub fn native_output(scale: Scale) -> Vec<u8> {
+    let (w, h, iters, lambda) = params(scale);
+    let mut img = input_image(scale);
+    let size = (w * h) as f64;
+    for _ in 0..iters {
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for &v in &img {
+            sum += v;
+            sum2 += v * v;
+        }
+        let mean = sum / size;
+        let var = sum2 / size - mean * mean;
+        let q0 = var / (mean * mean);
+        for y in 1..h - 1 {
+            for x in 1..w - 1 {
+                let i = y * w + x;
+                let j = img[i];
+                let dn = img[i - w] - j;
+                let ds = img[i + w] - j;
+                let dw = img[i - 1] - j;
+                let de = img[i + 1] - j;
+                let g2 = (dn * dn + ds * ds + dw * dw + de * de) / (j * j);
+                let l = (dn + ds + dw + de) / j;
+                let num = g2 * 0.5 - (l * l) * (1.0 / 16.0);
+                let den = {
+                    let d = l * 0.25 + 1.0;
+                    d * d
+                };
+                let q = num / den;
+                let t = (q - q0) / ((1.0 + q0) * q0) + 1.0;
+                // Mirrors the two emitted compare-and-select instructions
+                // (not `clamp`, to keep operation order identical).
+                #[allow(clippy::manual_clamp)]
+                let c = {
+                    let mut c = 1.0 / t;
+                    if c < 0.0 {
+                        c = 0.0;
+                    }
+                    if 1.0 < c {
+                        c = 1.0;
+                    }
+                    c
+                };
+                img[i] = j + (dn + ds + dw + de) * c * (lambda * 0.25);
+            }
+        }
+    }
+    img.iter()
+        .map(|&v| (v as i64).clamp(0, 255) as u8)
+        .collect()
+}

@@ -1,0 +1,97 @@
+//! Golden tests: every benchmark must complete cleanly in the simulator
+//! and reproduce its native Rust reference output byte-for-byte.
+
+use tei_uarch::FuncCore;
+use tei_workloads::{build, native_output, BenchmarkId, Scale};
+
+fn check(id: BenchmarkId, scale: Scale) {
+    let bench = build(id, scale);
+    let mut core = FuncCore::with_memory(&bench.program, 8 << 20);
+    let r = core.run(200_000_000);
+    assert!(
+        r.exit.is_success(),
+        "{id} at {scale:?} exited with {:?}",
+        r.exit
+    );
+    assert!(r.fp_ops > 0, "{id} must exercise the FPU");
+    let expect = native_output(id, scale);
+    assert!(!expect.is_empty(), "{id} produces output");
+    assert_eq!(
+        core.output, expect,
+        "{id} at {scale:?}: simulator output diverges from native reference"
+    );
+}
+
+#[test]
+fn sobel_matches_native() {
+    check(BenchmarkId::Sobel, Scale::Test);
+}
+
+#[test]
+fn cg_matches_native() {
+    check(BenchmarkId::Cg, Scale::Test);
+}
+
+#[test]
+fn kmeans_matches_native() {
+    check(BenchmarkId::Kmeans, Scale::Test);
+}
+
+#[test]
+fn srad_matches_native() {
+    check(BenchmarkId::SradV1, Scale::Test);
+}
+
+#[test]
+fn hotspot_matches_native() {
+    check(BenchmarkId::Hotspot, Scale::Test);
+}
+
+#[test]
+fn is_matches_native() {
+    check(BenchmarkId::Is, Scale::Test);
+}
+
+#[test]
+fn mg_matches_native() {
+    check(BenchmarkId::Mg, Scale::Test);
+}
+
+#[test]
+fn cg_verification_passes() {
+    // The golden cg run must self-verify (first output line "1").
+    let out = native_output(BenchmarkId::Cg, Scale::Test);
+    assert!(out.starts_with(b"1\n"), "cg verification failed in golden run");
+}
+
+#[test]
+fn mg_verification_passes() {
+    let out = native_output(BenchmarkId::Mg, Scale::Test);
+    assert!(out.starts_with(b"1\n"), "mg verification failed in golden run");
+}
+
+#[test]
+fn is_verification_passes() {
+    let out = native_output(BenchmarkId::Is, Scale::Test);
+    assert!(out.starts_with(b"1\n"), "is verification failed in golden run");
+}
+
+#[test]
+fn kmeans_produces_stable_clusters() {
+    // All k clusters are non-empty in the golden assignment.
+    let out = native_output(BenchmarkId::Kmeans, Scale::Test);
+    let (_, k, _) = tei_workloads::kmeans::params(Scale::Test);
+    for c in 0..k as u8 {
+        assert!(out.contains(&c), "cluster {c} is empty");
+    }
+}
+
+#[test]
+fn table2_metadata_present() {
+    for id in BenchmarkId::all() {
+        let b = build(id, Scale::Test);
+        assert!(!b.input_desc.is_empty());
+        assert!(!b.classification.is_empty());
+        assert!(b.program.len() > 10);
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's future-work extensions: evaluate timing errors under
+//! temperature variation, transistor aging, and overclocking — all three
+//! reduce to delay-inflation factors the same DTA machinery consumes.
+//!
+//! ```text
+//! cargo run --release --example delay_sources
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tei::fpu::{FpuTimingSpec, FpuUnit};
+use tei::softfloat::{FpOp, FpOpKind, Precision};
+use tei::timing::{overclock_factor, AgingModel, ArrivalSim, TemperatureModel, TwoVectorResult};
+
+fn main() {
+    let spec = FpuTimingSpec::paper_calibrated();
+    let op = FpOp::new(FpOpKind::Mul, Precision::Double);
+    println!("generating {op} ...");
+    let unit = FpuUnit::generate(op, &spec);
+    let dta = unit.dta_netlist();
+    let clk = spec.clk;
+
+    // One fixed operand stream; each scenario just changes the factor k.
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut mk = || {
+        let s = (rng.gen::<bool>() as u64) << 63;
+        let e = rng.gen_range(950u64..1150) << 52;
+        s | e | (rng.gen::<u64>() & ((1 << 52) - 1))
+    };
+    let n = 1500;
+    let mut settles = Vec::with_capacity(n);
+    let mut buf = TwoVectorResult::default();
+    let mut prev = unit.encode_inputs(mk(), mk());
+    for _ in 0..n {
+        let cur = unit.encode_inputs(mk(), mk());
+        ArrivalSim::run_into(&dta, &prev, &cur, &mut buf);
+        settles.push(buf.max_settle(unit.result_port()));
+        prev = cur;
+    }
+    let er = |k: f64| {
+        settles.iter().filter(|&&s| s.min(clk) * k > clk).count() as f64 / n as f64
+    };
+
+    println!("\ntemperature sweep at 0.88 V (VR20):");
+    let temp = TemperatureModel::default();
+    for celsius in [0.0, 25.0, 55.0, 85.0, 110.0] {
+        let k = temp.factor(0.88, celsius);
+        println!("  {celsius:5.0} °C: k = {k:.3} → ER {:.3e}", er(k));
+    }
+
+    println!("\naging sweep at 0.935 V (VR15):");
+    let aging = AgingModel::default();
+    for years in [0.0, 1.0, 3.0, 7.0, 10.0] {
+        let k = aging.factor(0.935, years);
+        println!("  {years:4.0} years: k = {k:.3} → ER {:.3e}", er(k));
+    }
+
+    println!("\noverclocking sweep at nominal voltage:");
+    for pct in [0.0, 0.05, 0.10, 0.15, 0.20] {
+        let k = overclock_factor(pct);
+        println!("  +{:4.0}% frequency: k = {:.3} → ER {:.3e}", 100.0 * pct, k, er(k));
+    }
+}

@@ -1,0 +1,100 @@
+//! Quickstart: the whole cross-layer flow on one floating-point operation
+//! and one tiny program.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tei::fpu::{FpuTimingSpec, FpuUnit};
+use tei::isa::{FReg, ProgramBuilder, Reg};
+use tei::softfloat::{FpOp, FpOpKind, Precision};
+use tei::timing::{ArrivalSim, Sta, VoltageReduction};
+use tei::uarch::FuncCore;
+
+fn main() {
+    // 1. Circuit layer: generate the gate-level double-precision multiplier,
+    //    calibrated to the paper's post-P&R corner (4.5 ns clock).
+    let spec = FpuTimingSpec::paper_calibrated();
+    let op = FpOp::new(FpOpKind::Mul, Precision::Double);
+    let unit = FpuUnit::generate(op, &spec);
+    let sta = Sta::analyze(unit.netlist());
+    println!(
+        "{op}: {} gates, static critical path {:.2} ns (clock {:.1} ns)",
+        unit.netlist().len(),
+        sta.max_delay(),
+        spec.clk
+    );
+
+    // 2. Dynamic timing analysis over consecutive operation pairs: most
+    //    operands settle early; occasionally one excites a deep path that
+    //    misses the capturing edge at reduced voltage.
+    let dta = unit.dta_netlist();
+    let mut state = 0x5eedu64;
+    let mut nextf = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (1000u64 + state % 120) << 52 | (state.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 12)
+    };
+    let mut prev = unit.encode_inputs(nextf(), nextf());
+    let mut shown = 0;
+    for i in 0..5000 {
+        let (a, b) = (nextf(), nextf());
+        let cur = unit.encode_inputs(a, b);
+        let r = ArrivalSim::run(&dta, &prev, &cur);
+        let settle = r.max_settle(unit.result_port()).min(spec.clk);
+        let errs = |vr: VoltageReduction| {
+            let k = vr.derating_factor();
+            unit.result_port()
+                .iter()
+                .filter(|&&n| settle * k > spec.clk && r.is_error(n, spec.clk, k))
+                .count()
+        };
+        let e20 = errs(VoltageReduction::VR20);
+        if i < 3 || (e20 > 0 && shown < 3) {
+            if e20 > 0 {
+                shown += 1;
+            }
+            println!(
+                "  op {i:4}: {:13.5e} × {:13.5e}  settle {settle:.2} ns → VR15: {} bits, VR20: {e20} bits corrupted",
+                f64::from_bits(a),
+                f64::from_bits(b),
+                errs(VoltageReduction::VR15),
+            );
+        }
+        prev = cur;
+    }
+
+    // 3. Application layer: inject a bitmask into an FP instruction of a
+    //    small program and observe the architectural outcome.
+    let mut p = ProgramBuilder::new();
+    p.fli(FReg::F1, 10.0, Reg::T0);
+    p.fli(FReg::F2, 4.0, Reg::T0);
+    p.fmul_d(FReg::F10, FReg::F1, FReg::F2);
+    p.syscall(tei::isa::Syscall::PutF64);
+    p.halt();
+    let prog = p.finish();
+
+    let mut golden = FuncCore::with_memory(&prog, 1 << 16);
+    golden.run(1000);
+    let mut faulty = FuncCore::with_memory(&prog, 1 << 16);
+    // Flip mantissa bit 50 of the first fp-mul's destination register.
+    faulty.run_with_hook(1000, &mut |ev| {
+        if ev.index == 0 {
+            ev.result ^ (1 << 50)
+        } else {
+            ev.result
+        }
+    });
+    let read = |out: &[u8]| f64::from_bits(u64::from_le_bytes(out[..8].try_into().unwrap()));
+    println!(
+        "golden output: {}, corrupted output: {} → {}",
+        read(&golden.output),
+        read(&faulty.output),
+        if golden.output == faulty.output {
+            "Masked"
+        } else {
+            "SDC"
+        }
+    );
+}
