@@ -25,7 +25,11 @@ fn bench_engine_ablation(c: &mut Criterion) {
     nl.scale_all_delays(4.2 / sta.max_delay());
 
     let arrival = DtaEngine::new(nl.clone(), TimingEngine::Arrival, DeratingModel::default());
-    let event = DtaEngine::new(nl.clone(), TimingEngine::EventDriven, DeratingModel::default());
+    let event = DtaEngine::new(
+        nl.clone(),
+        TimingEngine::EventDriven,
+        DeratingModel::default(),
+    );
     let op = OperatingPoint {
         vdd: VoltageReduction::VR20.vdd(),
         clk: 4.5,
@@ -64,7 +68,10 @@ fn bench_engine_ablation(c: &mut Criterion) {
 /// (the quality difference behind the paper's Figure 5).
 fn bench_mask_sampling(c: &mut Criterion) {
     let (bank, spec) = dev::default_bank();
-    let op = tei_softfloat::FpOp::new(tei_softfloat::FpOpKind::Mul, tei_softfloat::Precision::Double);
+    let op = tei_softfloat::FpOp::new(
+        tei_softfloat::FpOpKind::Mul,
+        tei_softfloat::Precision::Double,
+    );
     let ia = StatModel::instruction_aware(&bank, &spec, VoltageReduction::VR20, 4000, 9);
     if ia.error_ratio(op) == 0.0 {
         eprintln!("[ablation] skipping mask sampling: no d-mul errors at this calibration");

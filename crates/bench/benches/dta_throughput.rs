@@ -1,0 +1,157 @@
+//! DTA throughput: the interpreted `ArrivalSim` walk versus the
+//! compiled `ArrivalKernel`, and campaign scaling across worker
+//! threads, all on the double-precision multiplier (the unit that
+//! dominates model-development wall-clock). Under `cargo bench` the
+//! measured pairs/sec are also written to `BENCH_dta.json` at the
+//! workspace root so the perf trajectory is tracked across PRs; under
+//! `cargo test` (quick smoke mode) nothing is written.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Instant;
+use tei_core::dev::{dta_campaign_with_threads, random_operand_pairs};
+use tei_fpu::{FpuTimingSpec, FpuUnit};
+use tei_softfloat::{FpOp, FpOpKind, Precision};
+use tei_timing::{ArrivalKernel, ArrivalSim, TwoVectorResult, VoltageReduction, WINDOW_VECTORS};
+
+const LEVELS: [VoltageReduction; 2] = [VoltageReduction::VR15, VoltageReduction::VR20];
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+fn dmul_unit() -> (FpuUnit, FpuTimingSpec) {
+    let spec = FpuTimingSpec::paper_calibrated();
+    let op = FpOp::new(FpOpKind::Mul, Precision::Double);
+    (FpuUnit::generate(op, &spec), spec)
+}
+
+/// Repeat `run_batch` (which processes and reports some number of
+/// pairs) until `min_secs` of wall clock accumulate; return pairs/sec.
+fn pairs_per_sec(mut run_batch: impl FnMut() -> usize, min_secs: f64) -> f64 {
+    let start = Instant::now();
+    let mut pairs = 0usize;
+    loop {
+        pairs += run_batch();
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_secs {
+            return pairs as f64 / elapsed;
+        }
+    }
+}
+
+/// The pre-kernel per-pair loop: interpreted netlist walk with a fresh
+/// `Vec<bool>` encode per pair (what `dta_campaign` used to do).
+fn sim_batch(unit: &FpuUnit, dta: &tei_netlist::Netlist, pairs: &[(u64, u64)]) -> usize {
+    let mut buf = TwoVectorResult::default();
+    let mut prev = unit.encode_inputs(pairs[0].0, pairs[0].1);
+    for &(a, b) in &pairs[1..] {
+        let cur = unit.encode_inputs(a, b);
+        ArrivalSim::run_into(dta, &prev, &cur, &mut buf);
+        criterion::black_box(buf.settle.first());
+        prev = cur;
+    }
+    pairs.len() - 1
+}
+
+/// The compiled path: cached SoA netlist, allocation-free encode,
+/// bit-sliced windows of up to [`WINDOW_VECTORS`] vectors (the same
+/// inner loop the campaign shards run).
+fn kernel_batch(unit: &FpuUnit, pairs: &[(u64, u64)]) -> usize {
+    let compiled = unit.dta_compiled();
+    let width = unit.input_width();
+    let mut kernel = ArrivalKernel::new();
+    let mut flat = vec![false; WINDOW_VECTORS * width];
+    let mut start = 0usize;
+    while start + 1 < pairs.len() {
+        let count = (pairs.len() - start).min(WINDOW_VECTORS);
+        for (v, &(a, b)) in pairs[start..start + count].iter().enumerate() {
+            unit.encode_inputs_into(a, b, &mut flat[v * width..(v + 1) * width]);
+        }
+        kernel.load_window(compiled, &flat[..count * width], count);
+        for t in 0..count - 1 {
+            kernel.select_transition(compiled, t);
+            criterion::black_box(&kernel);
+        }
+        start += count - 1;
+    }
+    pairs.len() - 1
+}
+
+fn bench_dta_throughput(c: &mut Criterion) {
+    let measured = bench_mode();
+    let (unit, spec) = dmul_unit();
+    let n_pairs = if measured { 2048 } else { 32 };
+    let min_secs = if measured { 1.0 } else { 0.0 };
+    let pairs = random_operand_pairs(unit.op(), n_pairs, 0xbe9c);
+    let dta = unit.dta_netlist();
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+
+    // Criterion display: per-engine transition throughput.
+    let mut group = c.benchmark_group("dta_throughput");
+    group.throughput(Throughput::Elements((pairs.len() - 1) as u64));
+    group.bench_function(BenchmarkId::from_parameter("arrival_sim"), |b| {
+        b.iter(|| sim_batch(&unit, &dta, &pairs));
+    });
+    group.bench_function(BenchmarkId::from_parameter("arrival_kernel"), |b| {
+        b.iter(|| kernel_batch(&unit, &pairs));
+    });
+    group.bench_function(BenchmarkId::from_parameter("campaign_1_thread"), |b| {
+        b.iter(|| dta_campaign_with_threads(&unit, &pairs, spec.clk, &LEVELS, 1));
+    });
+    group.bench_function(BenchmarkId::new("campaign_threads", threads), |b| {
+        b.iter(|| dta_campaign_with_threads(&unit, &pairs, spec.clk, &LEVELS, threads));
+    });
+    group.finish();
+
+    // Machine-readable summary (measured mode only, so `cargo test`
+    // smoke runs never overwrite real numbers).
+    let sim_rate = pairs_per_sec(|| sim_batch(&unit, &dta, &pairs), min_secs);
+    let kernel_rate = pairs_per_sec(|| kernel_batch(&unit, &pairs), min_secs);
+    let campaign_1 = pairs_per_sec(
+        || {
+            criterion::black_box(dta_campaign_with_threads(
+                &unit, &pairs, spec.clk, &LEVELS, 1,
+            ));
+            pairs.len() - 1
+        },
+        min_secs,
+    );
+    let campaign_n = pairs_per_sec(
+        || {
+            criterion::black_box(dta_campaign_with_threads(
+                &unit, &pairs, spec.clk, &LEVELS, threads,
+            ));
+            pairs.len() - 1
+        },
+        min_secs,
+    );
+    let speedup = kernel_rate / sim_rate;
+    let scaling = campaign_n / campaign_1;
+    println!(
+        "dta_throughput summary: sim {sim_rate:.0} pairs/s, kernel {kernel_rate:.0} pairs/s \
+         ({speedup:.1}x), campaign x1 {campaign_1:.0} -> x{threads} {campaign_n:.0} \
+         pairs/s ({scaling:.1}x)"
+    );
+    if measured {
+        let report = serde_json::json!({
+            "bench": "dta_throughput",
+            "unit": "d-mul",
+            "transitions_per_batch": pairs.len() - 1,
+            "vr_levels": LEVELS.len(),
+            "arrival_sim_pairs_per_sec": sim_rate,
+            "arrival_kernel_pairs_per_sec": kernel_rate,
+            "kernel_speedup": speedup,
+            "campaign_threads": threads,
+            "campaign_1_thread_pairs_per_sec": campaign_1,
+            "campaign_n_thread_pairs_per_sec": campaign_n,
+            "campaign_scaling": scaling,
+        });
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dta.json");
+        let text = serde_json::to_string_pretty(&report).expect("serialize bench report");
+        std::fs::write(path, text + "\n").expect("write BENCH_dta.json");
+        println!("wrote {path}");
+    }
+}
+
+criterion_group!(benches, bench_dta_throughput);
+criterion_main!(benches);

@@ -81,5 +81,8 @@ fn main() {
         }
         emitted += 1;
     }
-    eprintln!("regenerated {emitted} artifact(s) into {}", out_dir.display());
+    eprintln!(
+        "regenerated {emitted} artifact(s) into {}",
+        out_dir.display()
+    );
 }

@@ -104,7 +104,12 @@ fn show(path: &std::path::Path) {
             );
         }
     } else if let Ok(m) = serde_json::from_str::<tei_core::DaModel>(&text) {
-        println!("{} at {}: fixed ER {:.3e}", m.name(), m.vr().label(), m.fixed_er());
+        println!(
+            "{} at {}: fixed ER {:.3e}",
+            m.name(),
+            m.vr().label(),
+            m.fixed_er()
+        );
     } else {
         eprintln!("unrecognized model file {}", path.display());
         std::process::exit(1);

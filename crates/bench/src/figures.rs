@@ -207,7 +207,9 @@ pub fn fig6(arts: &Artifacts) -> Report {
     let mut order: Vec<usize> = (1..full.len()).collect();
     let mut state = 0x9e37_79b9u64;
     for i in (1..order.len()).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         order.swap(i, (state >> 33) as usize % (i + 1));
     }
     for frac in [100usize, 10, 3, 1] {
@@ -273,8 +275,7 @@ fn ber_summary(model: &StatModel, op: FpOp) -> (f64, f64, f64, f64) {
 /// instruction type and VR level (region means printed; full arrays in
 /// JSON).
 pub fn fig7(arts: &Artifacts) -> Report {
-    let mut text =
-        String::from("op             VR     ER        S-mean    E-mean    M-mean\n");
+    let mut text = String::from("op             VR     ER        S-mean    E-mean    M-mean\n");
     let mut rows = Vec::new();
     for vr in LEVELS {
         let ia = arts.ia(vr);
@@ -311,7 +312,10 @@ pub fn fig8(arts: &Artifacts) -> Report {
             // Frequency-weighted per-bit aggregate over double-precision ops.
             let mut agg = vec![0f64; 64];
             let mut weight = 0f64;
-            for op in FpOp::all().into_iter().filter(|o| o.precision == Precision::Double) {
+            for op in FpOp::all()
+                .into_iter()
+                .filter(|o| o.precision == Precision::Double)
+            {
                 let freq = golden.arch_by_op[op.index()].len() as f64;
                 if freq == 0.0 {
                     continue;
@@ -379,12 +383,8 @@ pub fn campaigns(arts: &Artifacts) -> Vec<campaign::CampaignResult> {
                     cfg.runs
                 );
                 let r = match kind {
-                    ModelKind::Da => {
-                        campaign::run_campaign(id.name(), &golden, &arts.da(vr), &cfg)
-                    }
-                    ModelKind::Ia => {
-                        campaign::run_campaign(id.name(), &golden, &arts.ia(vr), &cfg)
-                    }
+                    ModelKind::Da => campaign::run_campaign(id.name(), &golden, &arts.da(vr), &cfg),
+                    ModelKind::Ia => campaign::run_campaign(id.name(), &golden, &arts.ia(vr), &cfg),
                     ModelKind::Wa => {
                         campaign::run_campaign(id.name(), &golden, &arts.wa(id, vr), &cfg)
                     }
@@ -434,7 +434,8 @@ pub fn fig9(results: &[campaign::CampaignResult]) -> Report {
 /// Figure 10: injected error ratio per benchmark × model × VR, plus the
 /// DA/WA and IA/WA divergence factors.
 pub fn fig10(results: &[campaign::CampaignResult]) -> Report {
-    let mut text = String::from("bench     VR     DA-ER      IA-ER      WA-ER      DA/WA     IA/WA\n");
+    let mut text =
+        String::from("bench     VR     DA-ER      IA-ER      WA-ER      DA/WA     IA/WA\n");
     let mut rows = Vec::new();
     let mut divergences: Vec<(f64, f64)> = Vec::new();
     for bench in BenchmarkId::all() {
@@ -442,9 +443,7 @@ pub fn fig10(results: &[campaign::CampaignResult]) -> Report {
             let er_of = |model: &str| {
                 results
                     .iter()
-                    .find(|r| {
-                        r.benchmark == bench.name() && r.model == model && r.vr == vr
-                    })
+                    .find(|r| r.benchmark == bench.name() && r.model == model && r.vr == vr)
                     .map_or(0.0, |r| r.error_ratio)
             };
             let (da, ia, wa) = (er_of("DA-model"), er_of("IA-model"), er_of("WA-model"));
@@ -474,7 +473,11 @@ pub fn fig10(results: &[campaign::CampaignResult]) -> Report {
         }
     }
     let gm = |f: &dyn Fn(&(f64, f64)) -> f64| {
-        let finite: Vec<f64> = divergences.iter().map(f).filter(|x| x.is_finite()).collect();
+        let finite: Vec<f64> = divergences
+            .iter()
+            .map(f)
+            .filter(|x| x.is_finite())
+            .collect();
         if finite.is_empty() {
             f64::NAN
         } else {
@@ -482,7 +485,11 @@ pub fn fig10(results: &[campaign::CampaignResult]) -> Report {
         }
     };
     let am = |f: &dyn Fn(&(f64, f64)) -> f64| {
-        let finite: Vec<f64> = divergences.iter().map(f).filter(|x| x.is_finite()).collect();
+        let finite: Vec<f64> = divergences
+            .iter()
+            .map(f)
+            .filter(|x| x.is_finite())
+            .collect();
         if finite.is_empty() {
             f64::NAN
         } else {
@@ -510,7 +517,8 @@ pub fn fig10(results: &[campaign::CampaignResult]) -> Report {
 
 /// Table II: benchmark, input, dynamic instruction count, classification.
 pub fn table2(arts: &Artifacts) -> Report {
-    let mut text = String::from("app       input                          instructions  classification\n");
+    let mut text =
+        String::from("app       input                          instructions  classification\n");
     let mut rows = Vec::new();
     for id in BenchmarkId::all() {
         let bench = arts.bench(id);
@@ -539,27 +547,21 @@ pub fn table2(arts: &Artifacts) -> Report {
 
 /// Section V.C: AVM-guided operating points and power savings per model.
 pub fn avm_analysis(results: &[campaign::CampaignResult]) -> Report {
-    let mut text = String::from(
-        "bench     model     AVM@VR15 AVM@VR20  chosen-VR  power-savings\n",
-    );
+    let mut text =
+        String::from("bench     model     AVM@VR15 AVM@VR20  chosen-VR  power-savings\n");
     let mut rows = Vec::new();
     for bench in BenchmarkId::all() {
         for kind in ModelKind::all() {
             let avm_of = |vr: VoltageReduction| {
                 results
                     .iter()
-                    .find(|r| {
-                        r.benchmark == bench.name() && r.model == kind.label() && r.vr == vr
-                    })
+                    .find(|r| r.benchmark == bench.name() && r.model == kind.label() && r.vr == vr)
                     .map_or(f64::NAN, campaign::CampaignResult::avm)
             };
             let a15 = avm_of(VoltageReduction::VR15);
             let a20 = avm_of(VoltageReduction::VR20);
             let choice = power::select_operating_point(
-                &[
-                    (VoltageReduction::VR15, a15),
-                    (VoltageReduction::VR20, a20),
-                ],
+                &[(VoltageReduction::VR15, a15), (VoltageReduction::VR20, a20)],
                 0.0,
             );
             let savings = power::power_savings(choice);
@@ -588,9 +590,8 @@ pub fn avm_analysis(results: &[campaign::CampaignResult]) -> Report {
 
 /// Section V.C mitigation: clock-stretch prevention guided by the WA model.
 pub fn mitigation(arts: &Artifacts, results: &[campaign::CampaignResult]) -> Report {
-    let mut text = String::from(
-        "bench     unprotected-VR  savings  protected@VR20 prone%  energy-savings\n",
-    );
+    let mut text =
+        String::from("bench     unprotected-VR  savings  protected@VR20 prone%  energy-savings\n");
     let mut rows = Vec::new();
     for bench in BenchmarkId::all() {
         let golden = arts.golden(bench);

@@ -19,9 +19,13 @@ fn main() {
             let mut top = (String::new(), 0.0);
             for op in FpOp::all() {
                 let e = wa.error_ratio(op);
-                if e > top.1 { top = (op.to_string(), e); }
+                if e > top.1 {
+                    top = (op.to_string(), e);
+                }
             }
-            if top.1 > 0.0 { line += &format!(" (top {} {:.1e})", top.0, top.1); }
+            if top.1 > 0.0 {
+                line += &format!(" (top {} {:.1e})", top.0, top.1);
+            }
         }
         println!("{line}");
     }

@@ -36,7 +36,12 @@ pub enum Outcome {
 impl Outcome {
     /// All four categories, paper order.
     pub fn all() -> [Outcome; 4] {
-        [Outcome::Masked, Outcome::Sdc, Outcome::Crash, Outcome::Timeout]
+        [
+            Outcome::Masked,
+            Outcome::Sdc,
+            Outcome::Crash,
+            Outcome::Timeout,
+        ]
     }
 
     /// Paper label.

@@ -28,6 +28,14 @@ pub fn default_dta_samples() -> usize {
     env_usize("TEI_DTA_SAMPLES", fallback)
 }
 
+/// Worker threads for sharded DTA campaigns and per-op model building.
+/// Defaults to all available cores; override with `TEI_THREADS` (set it
+/// to 1 for fully serial execution — results are identical either way).
+pub fn default_threads() -> usize {
+    let fallback = std::thread::available_parallelism().map_or(4, |n| n.get());
+    env_usize("TEI_THREADS", fallback).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,8 +9,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use tei_fpu::{FpuBank, FpuTimingSpec, FpuUnit};
 use tei_isa::Program;
+use tei_netlist::NetId;
 use tei_softfloat::{FpOp, FpOpKind};
-use tei_timing::{ArrivalSim, TwoVectorResult, VoltageReduction};
+use tei_timing::{ArrivalKernel, VoltageReduction, WINDOW_VECTORS};
 use tei_uarch::FuncCore;
 
 /// Per-operation operand trace: consecutive `(a, b)` raw-bit pairs in
@@ -151,77 +152,229 @@ impl OpErrorStats {
             })
             .collect()
     }
-}
 
-/// Maximum retained masks per (op, VR) — enough for faithful empirical
-/// sampling without unbounded memory.
-const MASK_CAP: usize = 50_000;
-
-/// Run a DTA campaign for one unit over an operand-pair stream, producing
-/// stats for every requested VR level in one pass (uniform derating lets a
-/// single settle computation be re-thresholded per corner).
-///
-/// The first pair only establishes circuit state. At the nominal corner the
-/// fabricated design meets timing by construction, so settle times beyond
-/// the clock (γ-calibration tail noise) are clamped to the clock period:
-/// they fail under any voltage reduction but never at nominal.
-pub fn dta_campaign(
-    unit: &FpuUnit,
-    pairs: &[(u64, u64)],
-    clk: f64,
-    levels: &[VoltageReduction],
-) -> Vec<OpErrorStats> {
-    let dta = unit.dta_netlist();
-    let outputs = unit.result_port().to_vec();
-    let width = outputs.len();
-    let mut stats: Vec<OpErrorStats> = levels
-        .iter()
-        .map(|&vr| OpErrorStats {
-            op: unit.op(),
+    /// An empty stats record for `(op, vr)` with `width` output bits.
+    fn empty(op: FpOp, vr: VoltageReduction, width: usize) -> Self {
+        OpErrorStats {
+            op,
             vr,
             samples: 0,
             faulty: 0,
             bit_errors: vec![0; width],
             masks: Vec::new(),
             flip_hist: BTreeMap::new(),
-        })
-        .collect();
-    if pairs.len() < 2 {
-        return stats;
+        }
     }
-    let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
-    let mut buf = TwoVectorResult::default();
-    let mut prev = unit.encode_inputs(pairs[0].0, pairs[0].1);
-    for &(a, b) in &pairs[1..] {
-        let cur = unit.encode_inputs(a, b);
-        ArrivalSim::run_into(&dta, &prev, &cur, &mut buf);
-        for (s, &k) in stats.iter_mut().zip(&factors) {
-            s.samples += 1;
-            let mut mask = 0u64;
-            for (bit, &net) in outputs.iter().enumerate() {
-                let settle = buf.settle[net.index()].min(clk); // nominal clamp
-                if settle * k > clk {
-                    mask |= 1 << bit;
-                    s.bit_errors[bit] += 1;
-                }
-            }
-            if mask != 0 {
-                s.faulty += 1;
-                *s.flip_hist.entry(mask.count_ones() as usize).or_default() += 1;
-                if s.masks.len() < MASK_CAP {
-                    s.masks.push(mask);
-                }
+
+    /// Fold `other` into `self` deterministically: counts add (they are
+    /// associative), the mask library concatenates in call order, and the
+    /// flip histogram sums per bucket. Merging per-shard stats in shard
+    /// order therefore reproduces the serial campaign exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the records describe different `(op, vr)` cells or
+    /// output widths.
+    pub fn merge(&mut self, other: &OpErrorStats) {
+        assert_eq!(self.op, other.op, "merging stats of different ops");
+        assert_eq!(self.vr, other.vr, "merging stats of different VR levels");
+        assert_eq!(
+            self.bit_errors.len(),
+            other.bit_errors.len(),
+            "merging stats of different output widths"
+        );
+        self.samples += other.samples;
+        self.faulty += other.faulty;
+        for (dst, &src) in self.bit_errors.iter_mut().zip(&other.bit_errors) {
+            *dst += src;
+        }
+        self.masks.extend_from_slice(&other.masks);
+        for (&flips, &count) in &other.flip_hist {
+            *self.flip_hist.entry(flips).or_default() += count;
+        }
+    }
+}
+
+/// Maximum retained masks per (op, VR) — enough for faithful empirical
+/// sampling without unbounded memory. Libraries over the cap are reduced
+/// by seeded reservoir sampling (not first-N truncation, which would
+/// over-weight early-trace behavior).
+const MASK_CAP: usize = 50_000;
+
+/// Per-transition stats accumulation shared by the full and sampled
+/// campaigns (and every shard of the parallel paths): threshold the
+/// settle time of each output bit at every requested corner and update
+/// counts, the mask library, and the flip histogram.
+///
+/// At the nominal corner the fabricated design meets timing by
+/// construction, so settle times beyond the clock (γ-calibration tail
+/// noise) are clamped to the clock period: they fail under any voltage
+/// reduction but never at nominal. Masks accumulate uncapped here;
+/// [`finalize_masks`] applies the reservoir cap after shards merge.
+fn accumulate_transition(
+    stats: &mut [OpErrorStats],
+    factors: &[f64],
+    outputs: &[NetId],
+    clk: f64,
+    kernel: &ArrivalKernel,
+) {
+    for (s, &k) in stats.iter_mut().zip(factors) {
+        s.samples += 1;
+        let mut mask = 0u64;
+        for (bit, &net) in outputs.iter().enumerate() {
+            let settle = kernel.settle_of(net).min(clk); // nominal clamp
+            if settle * k > clk {
+                mask |= 1 << bit;
+                s.bit_errors[bit] += 1;
             }
         }
-        prev = cur;
+        if mask != 0 {
+            s.faulty += 1;
+            *s.flip_hist.entry(mask.count_ones() as usize).or_default() += 1;
+            s.masks.push(mask);
+        }
     }
+}
+
+/// Reduce oversized mask libraries to `cap` entries with in-place
+/// Algorithm-R reservoir sampling, seeded from the `(op, vr)` cell so
+/// the subsample is reproducible and identical between the serial and
+/// sharded campaign paths.
+fn finalize_masks_with_cap(stats: &mut [OpErrorStats], cap: usize) {
+    for s in stats {
+        if s.masks.len() <= cap {
+            continue;
+        }
+        let seed = 0x6d61_736b_5245_5356u64
+            ^ ((s.op.index() as u64) << 32)
+            ^ (s.vr.fraction() * 1e6) as u64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in cap..s.masks.len() {
+            let j = rng.gen_range(0..=i);
+            if j < cap {
+                s.masks[j] = s.masks[i];
+            }
+        }
+        s.masks.truncate(cap);
+    }
+}
+
+fn finalize_masks(stats: &mut [OpErrorStats]) {
+    finalize_masks_with_cap(stats, MASK_CAP);
+}
+
+fn empty_stats(unit: &FpuUnit, levels: &[VoltageReduction], width: usize) -> Vec<OpErrorStats> {
+    levels
+        .iter()
+        .map(|&vr| OpErrorStats::empty(unit.op(), vr, width))
+        .collect()
+}
+
+/// Split `count` work items into at most `threads` contiguous
+/// near-equal ranges.
+fn shard_ranges(count: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = threads.clamp(1, count.max(1));
+    let chunk = count.div_ceil(threads);
+    (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(count)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Run a DTA campaign for one unit over an operand-pair stream, producing
+/// stats for every requested VR level in one pass (uniform derating lets a
+/// single settle computation be re-thresholded per corner).
+///
+/// The first pair only establishes circuit state; transition `k` is
+/// `pairs[k] → pairs[k+1]`, the chained access pattern the compiled
+/// [`ArrivalKernel`] advances without re-evaluating unchanged cones.
+/// Shards across `TEI_THREADS` worker threads (default: all cores); the
+/// sharded output is byte-identical to the single-threaded one.
+pub fn dta_campaign(
+    unit: &FpuUnit,
+    pairs: &[(u64, u64)],
+    clk: f64,
+    levels: &[VoltageReduction],
+) -> Vec<OpErrorStats> {
+    dta_campaign_with_threads(unit, pairs, clk, levels, config::default_threads())
+}
+
+/// [`dta_campaign`] with an explicit worker-thread count.
+pub fn dta_campaign_with_threads(
+    unit: &FpuUnit,
+    pairs: &[(u64, u64)],
+    clk: f64,
+    levels: &[VoltageReduction],
+    threads: usize,
+) -> Vec<OpErrorStats> {
+    let outputs = unit.result_port().to_vec();
+    if pairs.len() < 2 {
+        return empty_stats(unit, levels, outputs.len());
+    }
+    let compiled = unit.dta_compiled();
+    let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
+
+    // Transition t (1-based) is pairs[t-1] → pairs[t]; shard the
+    // transition range contiguously, each shard re-establishing circuit
+    // state from its first pair (a one-pair overlap with the previous
+    // shard), so concatenating shard results reproduces the serial walk.
+    let transitions = pairs.len() - 1;
+    let width = unit.input_width();
+    let run_shard = |lo: usize, hi: usize| -> Vec<OpErrorStats> {
+        let mut stats = empty_stats(unit, levels, outputs.len());
+        let mut kernel = ArrivalKernel::new();
+        let mut flat = vec![false; WINDOW_VECTORS * width];
+        // Bit-sliced windows over the shard's vectors, overlapping one
+        // vector so every transition lo+1..=hi is covered exactly once.
+        let mut start = lo;
+        while start < hi {
+            let count = (hi - start + 1).min(WINDOW_VECTORS);
+            for (v, &(a, b)) in pairs[start..start + count].iter().enumerate() {
+                unit.encode_inputs_into(a, b, &mut flat[v * width..(v + 1) * width]);
+            }
+            kernel.load_window(compiled, &flat[..count * width], count);
+            for t in 0..count - 1 {
+                kernel.select_transition(compiled, t);
+                accumulate_transition(&mut stats, &factors, &outputs, clk, &kernel);
+            }
+            start += count - 1;
+        }
+        stats
+    };
+
+    let ranges = shard_ranges(transitions, threads);
+    let mut stats = if ranges.len() == 1 {
+        run_shard(0, transitions)
+    } else {
+        let run_shard = &run_shard;
+        let shard_results: Vec<Vec<OpErrorStats>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| scope.spawn(move |_| run_shard(lo, hi)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("DTA shard panicked"))
+                .collect()
+        })
+        .expect("DTA campaign scope");
+        let mut merged = empty_stats(unit, levels, outputs.len());
+        for shard in &shard_results {
+            for (dst, src) in merged.iter_mut().zip(shard) {
+                dst.merge(src);
+            }
+        }
+        merged
+    };
+    finalize_masks(&mut stats);
     stats
 }
 
 /// DTA over a *sampled subset* of a trace: each sampled index `i ≥ 1`
 /// is analyzed as the transition `trace[i-1] → trace[i]`, preserving the
 /// true previous circuit state of every sampled dynamic instruction (the
-/// paper's "randomly extracted" characterization).
+/// paper's "randomly extracted" characterization). Shards across
+/// `TEI_THREADS` worker threads with output identical to the serial walk.
 pub fn dta_campaign_sampled(
     unit: &FpuUnit,
     trace: &[(u64, u64)],
@@ -229,47 +382,76 @@ pub fn dta_campaign_sampled(
     clk: f64,
     levels: &[VoltageReduction],
 ) -> Vec<OpErrorStats> {
-    let dta = unit.dta_netlist();
+    dta_campaign_sampled_with_threads(unit, trace, indices, clk, levels, config::default_threads())
+}
+
+/// [`dta_campaign_sampled`] with an explicit worker-thread count.
+pub fn dta_campaign_sampled_with_threads(
+    unit: &FpuUnit,
+    trace: &[(u64, u64)],
+    indices: &[usize],
+    clk: f64,
+    levels: &[VoltageReduction],
+    threads: usize,
+) -> Vec<OpErrorStats> {
     let outputs = unit.result_port().to_vec();
-    let width = outputs.len();
-    let mut stats: Vec<OpErrorStats> = levels
-        .iter()
-        .map(|&vr| OpErrorStats {
-            op: unit.op(),
-            vr,
-            samples: 0,
-            faulty: 0,
-            bit_errors: vec![0; width],
-            masks: Vec::new(),
-            flip_hist: BTreeMap::new(),
-        })
-        .collect();
+    let compiled = unit.dta_compiled();
     let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
-    let mut buf = TwoVectorResult::default();
-    for &i in indices {
-        assert!(i >= 1 && i < trace.len(), "sample index out of range");
-        let prev = unit.encode_inputs(trace[i - 1].0, trace[i - 1].1);
-        let cur = unit.encode_inputs(trace[i].0, trace[i].1);
-        ArrivalSim::run_into(&dta, &prev, &cur, &mut buf);
-        for (s, &k) in stats.iter_mut().zip(&factors) {
-            s.samples += 1;
-            let mut mask = 0u64;
-            for (bit, &net) in outputs.iter().enumerate() {
-                let settle = buf.settle[net.index()].min(clk);
-                if settle * k > clk {
-                    mask |= 1 << bit;
-                    s.bit_errors[bit] += 1;
-                }
+
+    let width = unit.input_width();
+    let run_shard = |slice: &[usize]| -> Vec<OpErrorStats> {
+        let mut stats = empty_stats(unit, levels, outputs.len());
+        let mut kernel = ArrivalKernel::new();
+        let mut flat = vec![false; WINDOW_VECTORS * width];
+        // Sampled transitions are disjoint, so pack each window with
+        // `prev, cur` vector pairs and analyze the even transitions
+        // only (odd lanes straddle unrelated samples).
+        for chunk in slice.chunks(WINDOW_VECTORS / 2) {
+            let count = chunk.len() * 2;
+            for (j, &i) in chunk.iter().enumerate() {
+                assert!(i >= 1 && i < trace.len(), "sample index out of range");
+                let lo = (2 * j) * width;
+                unit.encode_inputs_into(trace[i - 1].0, trace[i - 1].1, &mut flat[lo..lo + width]);
+                unit.encode_inputs_into(
+                    trace[i].0,
+                    trace[i].1,
+                    &mut flat[lo + width..lo + 2 * width],
+                );
             }
-            if mask != 0 {
-                s.faulty += 1;
-                *s.flip_hist.entry(mask.count_ones() as usize).or_default() += 1;
-                if s.masks.len() < MASK_CAP {
-                    s.masks.push(mask);
-                }
+            kernel.load_window(compiled, &flat[..count * width], count);
+            for j in 0..chunk.len() {
+                kernel.select_transition(compiled, 2 * j);
+                accumulate_transition(&mut stats, &factors, &outputs, clk, &kernel);
             }
         }
-    }
+        stats
+    };
+
+    let ranges = shard_ranges(indices.len(), threads);
+    let mut stats = if ranges.len() <= 1 {
+        run_shard(indices)
+    } else {
+        let run_shard = &run_shard;
+        let shard_results: Vec<Vec<OpErrorStats>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| scope.spawn(move |_| run_shard(&indices[lo..hi])))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("DTA shard panicked"))
+                .collect()
+        })
+        .expect("DTA campaign scope");
+        let mut merged = empty_stats(unit, levels, outputs.len());
+        for shard in &shard_results {
+            for (dst, src) in merged.iter_mut().zip(shard) {
+                dst.merge(src);
+            }
+        }
+        merged
+    };
+    finalize_masks(&mut stats);
     stats
 }
 
@@ -300,8 +482,52 @@ pub struct DaCalibration {
     pub er: Vec<(VoltageReduction, f64)>,
 }
 
+/// Map `f` over all twelve operation types, distributing ops to up to
+/// `TEI_THREADS` scoped worker threads through a shared work queue.
+/// Results come back in op order regardless of completion order, so
+/// callers folding them stay deterministic. Workers run their campaigns
+/// serially (pass `threads = 1` down) to avoid oversubscription.
+pub(crate) fn per_op_parallel<T, F>(f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(FpOp) -> T + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let ops = FpOp::all();
+    let threads = config::default_threads().clamp(1, ops.len());
+    if threads <= 1 {
+        return ops.into_iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..ops.len()).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= ops.len() {
+                    break;
+                }
+                let value = f(ops[i]);
+                *slots[i].lock().expect("op slot") = Some(value);
+            });
+        }
+    })
+    .expect("per-op scope");
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("op slot")
+                .expect("per-op worker completed")
+        })
+        .collect()
+}
+
 /// Calibrate the DA model's fixed ER from pooled traces: the average
-/// instruction error ratio over the mixed stream.
+/// instruction error ratio over the mixed stream. Per-op campaigns run
+/// on parallel worker threads; totals fold in op order.
 pub fn calibrate_da(
     bank: &FpuBank,
     spec: &FpuTimingSpec,
@@ -309,14 +535,22 @@ pub fn calibrate_da(
     levels: &[VoltageReduction],
     per_op_cap: usize,
 ) -> DaCalibration {
-    let mut totals = vec![(0u64, 0u64); levels.len()]; // (faulty, samples)
-    for op in FpOp::all() {
+    let per_op: Vec<Option<Vec<OpErrorStats>>> = per_op_parallel(|op| {
         let trace = pooled.of(op);
         if trace.len() < 2 {
-            continue;
+            return None;
         }
         let take = trace.len().min(per_op_cap);
-        let stats = dta_campaign(bank.unit(op), &trace[..take], spec.clk, levels);
+        Some(dta_campaign_with_threads(
+            bank.unit(op),
+            &trace[..take],
+            spec.clk,
+            levels,
+            1,
+        ))
+    });
+    let mut totals = vec![(0u64, 0u64); levels.len()]; // (faulty, samples)
+    for stats in per_op.into_iter().flatten() {
         for (t, s) in totals.iter_mut().zip(&stats) {
             t.0 += s.faulty;
             t.1 += s.samples;
@@ -341,4 +575,80 @@ pub fn default_bank() -> (FpuBank, FpuTimingSpec) {
 /// The default DTA sample budget (see [`config::default_dta_samples`]).
 pub fn dta_samples() -> usize {
     config::default_dta_samples()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tei_softfloat::Precision;
+
+    fn stats_with_masks(masks: Vec<u64>) -> OpErrorStats {
+        let op = FpOp::new(FpOpKind::Add, Precision::Single);
+        let mut s = OpErrorStats::empty(op, VoltageReduction::VR20, 32);
+        s.masks = masks;
+        s
+    }
+
+    #[test]
+    fn reservoir_cap_is_deterministic_and_unbiased_to_prefix() {
+        let full: Vec<u64> = (1..=1000).collect();
+        let mut a = [stats_with_masks(full.clone())];
+        let mut b = [stats_with_masks(full.clone())];
+        finalize_masks_with_cap(&mut a, 64);
+        finalize_masks_with_cap(&mut b, 64);
+        assert_eq!(a[0].masks, b[0].masks, "same seed, same subsample");
+        assert_eq!(a[0].masks.len(), 64);
+        assert!(a[0].masks.iter().all(|m| full.contains(m)));
+        assert_ne!(
+            a[0].masks,
+            full[..64].to_vec(),
+            "reservoir must not degenerate to first-N truncation"
+        );
+    }
+
+    #[test]
+    fn reservoir_leaves_small_libraries_untouched() {
+        let mut s = [stats_with_masks(vec![3, 1, 2])];
+        finalize_masks_with_cap(&mut s, 10);
+        assert_eq!(s[0].masks, vec![3, 1, 2], "under-cap library keeps order");
+    }
+
+    #[test]
+    fn merge_concatenates_masks_and_sums_counts() {
+        let op = FpOp::new(FpOpKind::Add, Precision::Single);
+        let mut a = OpErrorStats::empty(op, VoltageReduction::VR20, 2);
+        let mut b = OpErrorStats::empty(op, VoltageReduction::VR20, 2);
+        a.samples = 5;
+        a.faulty = 2;
+        a.bit_errors = vec![2, 0];
+        a.masks = vec![0b01, 0b01];
+        a.flip_hist.insert(1, 2);
+        b.samples = 3;
+        b.faulty = 1;
+        b.bit_errors = vec![0, 1];
+        b.masks = vec![0b10];
+        b.flip_hist.insert(1, 1);
+        a.merge(&b);
+        assert_eq!(a.samples, 8);
+        assert_eq!(a.faulty, 3);
+        assert_eq!(a.bit_errors, vec![2, 1]);
+        assert_eq!(a.masks, vec![0b01, 0b01, 0b10], "shard-order concatenation");
+        assert_eq!(a.flip_hist.get(&1), Some(&3));
+    }
+
+    #[test]
+    fn shard_ranges_cover_contiguously() {
+        for count in [0usize, 1, 5, 7, 16] {
+            for threads in [1usize, 2, 3, 8, 32] {
+                let ranges = shard_ranges(count, threads);
+                let mut expect = 0usize;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, expect, "contiguous shards");
+                    assert!(hi > lo);
+                    expect = hi;
+                }
+                assert_eq!(expect, count, "full coverage");
+            }
+        }
+    }
 }

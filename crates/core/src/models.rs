@@ -2,7 +2,10 @@
 //! data-agnostic (DA), instruction-aware (IA), and the proposed
 //! instruction- and workload-aware (WA) model.
 
-use crate::dev::{dta_campaign, random_operand_pairs, DaCalibration, OpErrorStats, TraceSet};
+use crate::dev::{
+    dta_campaign_with_threads, per_op_parallel, random_operand_pairs, DaCalibration, OpErrorStats,
+    TraceSet,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use tei_fpu::{FpuBank, FpuTimingSpec};
@@ -190,7 +193,9 @@ impl StatModel {
     }
 
     /// Build the instruction-aware model: DTA over uniformly random
-    /// operands per instruction type (paper Section IV.C.2).
+    /// operands per instruction type (paper Section IV.C.2). Per-op
+    /// campaigns are distributed over worker threads; the stats come
+    /// back in op order, so the model is thread-count independent.
     pub fn instruction_aware(
         bank: &FpuBank,
         spec: &FpuTimingSpec,
@@ -198,20 +203,18 @@ impl StatModel {
         samples_per_op: usize,
         seed: u64,
     ) -> Self {
-        let stats: Vec<OpErrorStats> = FpOp::all()
-            .into_iter()
-            .map(|op| {
-                let pairs = random_operand_pairs(op, samples_per_op, seed);
-                dta_campaign(bank.unit(op), &pairs, spec.clk, &[vr])
-                    .pop()
-                    .expect("one VR level requested")
-            })
-            .collect();
+        let stats: Vec<OpErrorStats> = per_op_parallel(|op| {
+            let pairs = random_operand_pairs(op, samples_per_op, seed);
+            dta_campaign_with_threads(bank.unit(op), &pairs, spec.clk, &[vr], 1)
+                .pop()
+                .expect("one VR level requested")
+        });
         Self::from_stats(ModelKind::Ia, vr, MaskSampling::default(), &stats)
     }
 
     /// Build the workload-aware model: DTA over the operand trace of the
-    /// target benchmark (paper Section IV.C.3).
+    /// target benchmark (paper Section IV.C.3). Parallelized like
+    /// [`StatModel::instruction_aware`].
     pub fn workload_aware(
         bank: &FpuBank,
         spec: &FpuTimingSpec,
@@ -219,16 +222,13 @@ impl StatModel {
         trace: &TraceSet,
         per_op_cap: usize,
     ) -> Self {
-        let stats: Vec<OpErrorStats> = FpOp::all()
-            .into_iter()
-            .map(|op| {
-                let t = trace.of(op);
-                let take = t.len().min(per_op_cap);
-                dta_campaign(bank.unit(op), &t[..take], spec.clk, &[vr])
-                    .pop()
-                    .expect("one VR level requested")
-            })
-            .collect();
+        let stats: Vec<OpErrorStats> = per_op_parallel(|op| {
+            let t = trace.of(op);
+            let take = t.len().min(per_op_cap);
+            dta_campaign_with_threads(bank.unit(op), &t[..take], spec.clk, &[vr], 1)
+                .pop()
+                .expect("one VR level requested")
+        });
         Self::from_stats(ModelKind::Wa, vr, MaskSampling::default(), &stats)
     }
 

@@ -81,9 +81,15 @@ mod tests {
     fn anchors_match_paper() {
         assert!((power_ratio_at(0.0) - 1.0).abs() < 1e-12);
         let s10 = 1.0 - power_ratio_at(0.10);
-        assert!((s10 - 0.21).abs() < 0.001, "10% VR ≈ 21% savings, got {s10}");
+        assert!(
+            (s10 - 0.21).abs() < 0.001,
+            "10% VR ≈ 21% savings, got {s10}"
+        );
         let s20 = 1.0 - power_ratio_at(0.20);
-        assert!((s20 - 0.56).abs() < 0.001, "20% VR ≈ 56% savings, got {s20}");
+        assert!(
+            (s20 - 0.56).abs() < 0.001,
+            "20% VR ≈ 56% savings, got {s20}"
+        );
         // Monotone increasing savings.
         assert!(power_savings(VoltageReduction::VR20) > power_savings(VoltageReduction::VR15));
         assert!(power_savings(VoltageReduction::VR15) > 0.0);

@@ -33,8 +33,7 @@ pub fn sample_size_finite(population: u64, error_margin: f64, confidence: f64) -
     if n <= 0.0 {
         return 0;
     }
-    (n / (1.0 + (n - 1.0) * (error_margin * error_margin)
-        / (n0 * error_margin * error_margin)))
+    (n / (1.0 + (n - 1.0) * (error_margin * error_margin) / (n0 * error_margin * error_margin)))
         .min(n)
         .ceil() as usize
 }

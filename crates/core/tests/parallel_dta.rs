@@ -1,0 +1,73 @@
+//! Sharded DTA campaigns must be byte-identical to the serial walk:
+//! same counts, same mask-library order, same histograms, regardless of
+//! thread count. The shard merge concatenates in shard order and the
+//! mask reservoir is seeded per `(op, vr)` cell, so the JSON encodings
+//! compare equal exactly.
+
+use tei_core::dev::{
+    dta_campaign_sampled_with_threads, dta_campaign_with_threads, random_operand_pairs,
+};
+use tei_fpu::{FpuTimingSpec, FpuUnit};
+use tei_softfloat::{FpOp, FpOpKind, Precision};
+use tei_timing::VoltageReduction;
+
+const LEVELS: [VoltageReduction; 2] = [VoltageReduction::VR15, VoltageReduction::VR20];
+
+/// The d-mul unit has the thick error tail, so campaigns actually fill
+/// mask libraries; generate it once for the whole test binary.
+fn test_unit() -> (&'static FpuUnit, FpuTimingSpec) {
+    use std::sync::OnceLock;
+    static UNIT: OnceLock<FpuUnit> = OnceLock::new();
+    let spec = FpuTimingSpec::paper_calibrated();
+    let unit =
+        UNIT.get_or_init(|| FpuUnit::generate(FpOp::new(FpOpKind::Mul, Precision::Double), &spec));
+    (unit, spec)
+}
+
+#[test]
+fn parallel_campaign_equals_serial_byte_for_byte() {
+    let (unit, spec) = test_unit();
+    let pairs = random_operand_pairs(unit.op(), 403, 0xd7a_cafe);
+    let serial = dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 1);
+    assert!(
+        serial.iter().any(|s| s.faulty > 0),
+        "campaign should observe errors for the comparison to be meaningful"
+    );
+    for threads in [2usize, 3, 8] {
+        let parallel = dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, threads);
+        assert_eq!(
+            serde_json::to_string(&serial).expect("serialize serial"),
+            serde_json::to_string(&parallel).expect("serialize parallel"),
+            "{threads}-thread campaign diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn parallel_sampled_campaign_equals_serial_byte_for_byte() {
+    let (unit, spec) = test_unit();
+    let trace = random_operand_pairs(unit.op(), 300, 0x5a5a);
+    // An arbitrary non-monotonic sample pattern over valid indices.
+    let indices: Vec<usize> = (1..trace.len()).filter(|i| i % 3 != 0).collect();
+    let serial = dta_campaign_sampled_with_threads(unit, &trace, &indices, spec.clk, &LEVELS, 1);
+    for threads in [2usize, 5] {
+        let parallel =
+            dta_campaign_sampled_with_threads(unit, &trace, &indices, spec.clk, &LEVELS, threads);
+        assert_eq!(
+            serde_json::to_string(&serial).expect("serialize serial"),
+            serde_json::to_string(&parallel).expect("serialize parallel"),
+            "{threads}-thread sampled campaign diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn thread_count_overshoot_is_clamped() {
+    let (unit, spec) = test_unit();
+    let pairs = random_operand_pairs(unit.op(), 6, 1);
+    // More threads than transitions: shards clamp without panicking.
+    let stats = dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 64);
+    assert_eq!(stats[0].samples, 5);
+    let empty = dta_campaign_with_threads(unit, &pairs[..1], spec.clk, &LEVELS, 4);
+    assert_eq!(empty[0].samples, 0, "single pair only establishes state");
+}

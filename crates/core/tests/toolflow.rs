@@ -83,7 +83,12 @@ fn flip_histogram_shows_multibit_errors() {
     let stats = dev::dta_campaign(bank.unit(op), &pairs, spec.clk, &[VoltageReduction::VR20]);
     let s = &stats[0];
     assert!(s.faulty > 0, "need faulty samples to histogram");
-    let multi: u64 = s.flip_hist.iter().filter(|(&k, _)| k >= 2).map(|(_, &v)| v).sum();
+    let multi: u64 = s
+        .flip_hist
+        .iter()
+        .filter(|(&k, _)| k >= 2)
+        .map(|(_, &v)| v)
+        .sum();
     assert!(
         multi > 0,
         "multi-bit flips must occur (hist: {:?})",
@@ -100,7 +105,11 @@ fn ber_estimate_converges_with_sample_count() {
     let bench = build(BenchmarkId::Is, Scale::Test);
     let trace = dev::TraceSet::capture(&bench.program, MEM, u64::MAX, usize::MAX);
     let full = trace.of(op);
-    assert!(full.len() > 2000, "is must be fp-mul heavy, got {}", full.len());
+    assert!(
+        full.len() > 2000,
+        "is must be fp-mul heavy, got {}",
+        full.len()
+    );
     let unit = bank.unit(op);
     let reference = dev::dta_campaign(unit, full, spec.clk, &[VoltageReduction::VR20])
         .pop()

@@ -23,8 +23,12 @@ fn main() {
             let w = widths[rng.gen_range(0..widths.len())];
             let s = (rng.gen::<bool>() as u64) << 63;
             let e = rng.gen_range(950u64..1150) << 52;
-            let f = if w == 0 { 0 } else { ((rng.gen::<u64>() | (1<<63)) >> (64 - w)) << (52 - w) };
-            s | e | (f & ((1<<52)-1))
+            let f = if w == 0 {
+                0
+            } else {
+                ((rng.gen::<u64>() | (1 << 63)) >> (64 - w)) << (52 - w)
+            };
+            s | e | (f & ((1 << 52) - 1))
         };
         let is_i2f = op.kind == FpOpKind::ItoF;
         let gen = |rng: &mut StdRng| if is_i2f { rng.gen::<u64>() } else { mk(rng) };
@@ -53,13 +57,26 @@ fn main() {
             ArrivalSim::run_into(&dta, &prev, &cur, &mut buf);
             let s = buf.max_settle(unit.result_port());
             smax = smax.max(s);
-            if s > clk { e0 += 1; }
-            if s * k15 > clk { e15 += 1; }
-            if s * k20 > clk { e20 += 1; }
+            if s > clk {
+                e0 += 1;
+            }
+            if s * k15 > clk {
+                e15 += 1;
+            }
+            if s * k20 > clk {
+                e20 += 1;
+            }
             prev = cur;
         }
-        println!("{:12} gamma {:.2} target {:.2} dynmax {:.2}  ER_nom {:.4} ER15 {:.4} ER20 {:.4}",
-            op.to_string(), unit.gamma(), spec.target(op), smax,
-            e0 as f64/n as f64, e15 as f64/n as f64, e20 as f64/n as f64);
+        println!(
+            "{:12} gamma {:.2} target {:.2} dynmax {:.2}  ER_nom {:.4} ER15 {:.4} ER20 {:.4}",
+            op.to_string(),
+            unit.gamma(),
+            spec.target(op),
+            smax,
+            e0 as f64 / n as f64,
+            e15 as f64 / n as f64,
+            e20 as f64 / n as f64
+        );
     }
 }

@@ -26,7 +26,11 @@ pub fn build_addsub(nl: &mut Netlist, fmt: Format, is_sub: bool, tag: &str) {
     nl.begin_block(&format!("{tag}/s1-prenorm"));
     let ca = classify(nl, &a, fmt);
     let cb = classify(nl, &b, fmt);
-    let sb_eff = if is_sub { nl.not(cb.sign) } else { nl.buf(cb.sign) };
+    let sb_eff = if is_sub {
+        nl.not(cb.sign)
+    } else {
+        nl.buf(cb.sign)
+    };
     let eff_sub = nl.xor(ca.sign, sb_eff);
 
     // Stage 2: magnitude compare and alignment shift.
@@ -114,4 +118,3 @@ pub fn build_addsub(nl: &mut Netlist, fmt: Format, is_sub: bool, tag: &str) {
     );
     nl.mark_output_bus(&format!("{tag}/result"), &result);
 }
-

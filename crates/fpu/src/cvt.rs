@@ -1,6 +1,8 @@
 //! Gate-level integer ↔ floating-point conversion datapaths.
 
-use crate::common::{classify, priority_mux, round_pack_block, special_consts, sub_wide, zext, EXPW};
+use crate::common::{
+    classify, priority_mux, round_pack_block, special_consts, sub_wide, zext, EXPW,
+};
 use tei_netlist::Netlist;
 use tei_softfloat::Precision;
 
@@ -82,7 +84,7 @@ pub fn build_f2i(nl: &mut Netlist, precision: Precision, tag: &str) {
 
     nl.begin_block(&format!("{tag}/s4-pack"));
     let _ = special_consts(nl, fmt); // keep special constants co-located
-    // MAX = 0111…1, MIN = 1000…0, selected by sign.
+                                     // MAX = 0111…1, MIN = 1000…0, selected by sign.
     let max_c = nl.const_bus(((1u128 << (wi - 1)) - 1) as u64, wi);
     let min_c = nl.const_bus(1u64 << (wi - 1), wi);
     let sat_val = nl.mux_bus(ca.sign, &max_c, &min_c);

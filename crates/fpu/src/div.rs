@@ -1,7 +1,9 @@
 //! Gate-level floating-point divider datapath (non-restoring mantissa
 //! divider array with preloaded partial remainder).
 
-use crate::common::{add_const, classify, cond_increment, priority_mux, round_pack_block, special_consts, sub_wide};
+use crate::common::{
+    add_const, classify, cond_increment, priority_mux, round_pack_block, special_consts, sub_wide,
+};
 use tei_netlist::Netlist;
 use tei_softfloat::Format;
 
@@ -61,7 +63,7 @@ pub fn build_div(nl: &mut Netlist, fmt: Format, tag: &str) {
         &rounded.packed,
         &[
             (nan_sel, &consts.qnan),
-            (ca.is_inf, &inf_res),  // inf / finite
+            (ca.is_inf, &inf_res), // inf / finite
             (zero_sel, &zero_res),
             (cb.is_zero, &inf_res), // finite nonzero / 0
         ],

@@ -1,7 +1,9 @@
 //! Gate-level floating-point multiplier datapath (array multiplier with
 //! carry-save reduction, normalization, rounding, special selection).
 
-use crate::common::{add_const, add_wide, classify, cond_increment, priority_mux, round_pack_block, special_consts};
+use crate::common::{
+    add_const, add_wide, classify, cond_increment, priority_mux, round_pack_block, special_consts,
+};
 use tei_netlist::Netlist;
 use tei_softfloat::Format;
 

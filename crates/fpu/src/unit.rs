@@ -2,9 +2,10 @@
 
 use crate::{addsub, cvt, div, mul};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use tei_netlist::{CellLibrary, NetId, Netlist};
 use tei_softfloat::{FpOp, FpOpKind, Precision};
-use tei_timing::Sta;
+use tei_timing::{CompiledNetlist, Sta};
 
 /// Calibration targets: the nominal critical delay of each FPU datapath,
 /// in nanoseconds, plus the core clock period.
@@ -123,6 +124,9 @@ pub struct FpuUnit {
     gamma: f64,
     a_width: usize,
     b_width: usize,
+    /// Lazily compiled γ-scaled DTA netlist, shared by every campaign
+    /// touching this unit (cloning the unit restarts the cache).
+    dta_compiled: OnceLock<CompiledNetlist>,
 }
 
 /// Safety margin keeping workload operands that settle slightly later than
@@ -145,13 +149,8 @@ impl FpuUnit {
         let max = sta.max_delay();
         assert!(max > 0.0, "degenerate datapath for {op}");
         nl.scale_all_delays(spec.target(op) / max);
-        let a_width = nl
-            .input_port(&format!("{tag}/a"))
-            .expect("a port")
-            .len();
-        let b_width = nl
-            .input_port(&format!("{tag}/b"))
-            .map_or(0, <[NetId]>::len);
+        let a_width = nl.input_port(&format!("{tag}/a")).expect("a port").len();
+        let b_width = nl.input_port(&format!("{tag}/b")).map_or(0, <[NetId]>::len);
         let mut unit = FpuUnit {
             op,
             tag,
@@ -159,6 +158,7 @@ impl FpuUnit {
             gamma: 1.0,
             a_width,
             b_width,
+            dta_compiled: OnceLock::new(),
         };
         // Dynamic calibration: measure the arrival-engine settle maximum on
         // the reference ensemble and derive γ.
@@ -170,19 +170,21 @@ impl FpuUnit {
 
     /// Maximum output settle time over the fixed reference ensemble.
     fn reference_dynamic_max(&self) -> f64 {
-        use tei_timing::{ArrivalSim, TwoVectorResult};
+        use tei_timing::ArrivalKernel;
         let mut rng = SplitMix::new(0x5eed_0000 + self.op.index() as u64);
-        let mut buf = TwoVectorResult::default();
+        let compiled = CompiledNetlist::compile(&self.netlist);
+        let mut kernel = ArrivalKernel::new();
         let port = self.result_port().to_vec();
+        let mut cur = vec![false; self.input_width()];
         let (a, b) = reference_pair(&mut rng, self.op);
-        let mut prev = self.encode_inputs(a, b);
+        self.encode_inputs_into(a, b, &mut cur);
+        kernel.reset(&compiled, &cur);
         let mut max = 0.0f64;
         for _ in 0..GAMMA_SAMPLES {
             let (a, b) = reference_pair(&mut rng, self.op);
-            let cur = self.encode_inputs(a, b);
-            ArrivalSim::run_into(&self.netlist, &prev, &cur, &mut buf);
-            max = max.max(buf.max_settle(&port));
-            prev = cur;
+            self.encode_inputs_into(a, b, &mut cur);
+            kernel.advance(&compiled, &cur);
+            max = max.max(kernel.max_settle(&port));
         }
         max
     }
@@ -198,6 +200,13 @@ impl FpuUnit {
         let mut nl = self.netlist.clone();
         nl.scale_all_delays(self.gamma);
         nl
+    }
+
+    /// The γ-scaled DTA netlist in compiled (structure-of-arrays) form,
+    /// built on first use and cached for the lifetime of the unit.
+    pub fn dta_compiled(&self) -> &CompiledNetlist {
+        self.dta_compiled
+            .get_or_init(|| CompiledNetlist::compile(&self.dta_netlist()))
     }
 
     /// The modeled operation.
@@ -233,17 +242,34 @@ impl FpuUnit {
         self.result_port().len()
     }
 
+    /// Primary-input vector width (`a` bits followed by `b` bits).
+    pub fn input_width(&self) -> usize {
+        self.a_width + self.b_width
+    }
+
     /// Encode raw operand bits into the netlist's primary-input vector.
     /// Unary operations ignore `b`.
     pub fn encode_inputs(&self, a: u64, b: u64) -> Vec<bool> {
-        let mut bits = Vec::with_capacity(self.a_width + self.b_width);
-        for i in 0..self.a_width {
-            bits.push((a >> i) & 1 == 1);
-        }
-        for i in 0..self.b_width {
-            bits.push((b >> i) & 1 == 1);
-        }
+        let mut bits = vec![false; self.input_width()];
+        self.encode_inputs_into(a, b, &mut bits);
         bits
+    }
+
+    /// Allocation-free [`encode_inputs`](FpuUnit::encode_inputs): write
+    /// the encoding into `out`, which must be
+    /// [`input_width`](FpuUnit::input_width) long.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` has the wrong length.
+    pub fn encode_inputs_into(&self, a: u64, b: u64, out: &mut [bool]) {
+        assert_eq!(out.len(), self.input_width(), "encode buffer width");
+        for (i, slot) in out[..self.a_width].iter_mut().enumerate() {
+            *slot = (a >> i) & 1 == 1;
+        }
+        for (i, slot) in out[self.a_width..].iter_mut().enumerate() {
+            *slot = (b >> i) & 1 == 1;
+        }
     }
 
     /// Functionally evaluate the unit (no timing).

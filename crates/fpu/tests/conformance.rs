@@ -103,13 +103,23 @@ fn check_unit(op: FpOp, random_cases: usize) {
         Precision::Double => corner_f64(),
         Precision::Single => corner_f32(),
     };
-    let int_corners: Vec<u64> = [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN, 1 << 52, -(1 << 40)]
-        .iter()
-        .map(|&x| match op.precision {
-            Precision::Double => x as u64,
-            Precision::Single => (x as i32) as u32 as u64,
-        })
-        .collect();
+    let int_corners: Vec<u64> = [
+        0i64,
+        1,
+        -1,
+        42,
+        -42,
+        i64::MAX,
+        i64::MIN,
+        1 << 52,
+        -(1 << 40),
+    ]
+    .iter()
+    .map(|&x| match op.precision {
+        Precision::Double => x as u64,
+        Precision::Single => (x as i32) as u32 as u64,
+    })
+    .collect();
     let a_pool: &[u64] = if op.kind == FpOpKind::ItoF {
         &int_corners
     } else {

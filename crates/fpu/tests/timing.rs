@@ -50,10 +50,7 @@ fn criticality_ordering_matches_paper() {
     for op in FpOp::all() {
         let reach15 = spec.target(op) * k15 > clk;
         let reach20 = spec.target(op) * k20 > clk;
-        let expect15 = matches!(
-            (op.kind, op.precision),
-            (Mul, Double) | (Sub, Double)
-        );
+        let expect15 = matches!((op.kind, op.precision), (Mul, Double) | (Sub, Double));
         let expect20 = matches!(
             (op.kind, op.precision),
             (Mul, Double) | (Sub, Double) | (Add, Double) | (Div, Double)
@@ -189,7 +186,11 @@ fn whole_core_census_is_fpu_dominated() {
     );
     // Non-FPU paths keep healthy slack even at VR20 derating.
     let k20 = VoltageReduction::VR20.derating_factor();
-    for p in census.paths.iter().filter(|p| p.dominant_block.starts_with("core/")) {
+    for p in census
+        .paths
+        .iter()
+        .filter(|p| p.dominant_block.starts_with("core/"))
+    {
         assert!(p.delay * k20 < 4.5, "{} unsafe at VR20", p.dominant_block);
     }
 }

@@ -154,13 +154,10 @@ fn emit_directive(b: &mut ProgramBuilder, rest: &str, line: usize) -> Result<(),
     match word {
         "double" => {
             for a in args.split(',') {
-                let v: f64 = a
-                    .trim()
-                    .parse()
-                    .map_err(|_| AsmError {
-                        line,
-                        message: format!("bad float {a:?}"),
-                    })?;
+                let v: f64 = a.trim().parse().map_err(|_| AsmError {
+                    line,
+                    message: format!("bad float {a:?}"),
+                })?;
                 b.double(v);
             }
             Ok(())

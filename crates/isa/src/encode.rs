@@ -198,19 +198,63 @@ pub fn decode(word: u32) -> Result<Instr, DecodeError> {
         OP_LWU => Lwu { rd, rs1, off: imm },
         OP_LB => Lb { rd, rs1, off: imm },
         OP_LBU => Lbu { rd, rs1, off: imm },
-        OP_SD => Sd { rs2: rd, rs1, off: imm },
-        OP_SW => Sw { rs2: rd, rs1, off: imm },
-        OP_SB => Sb { rs2: rd, rs1, off: imm },
+        OP_SD => Sd {
+            rs2: rd,
+            rs1,
+            off: imm,
+        },
+        OP_SW => Sw {
+            rs2: rd,
+            rs1,
+            off: imm,
+        },
+        OP_SB => Sb {
+            rs2: rd,
+            rs1,
+            off: imm,
+        },
         OP_FLD => Fld { fd, rs1, off: imm },
         OP_FLW => Flw { fd, rs1, off: imm },
-        OP_FSD => Fsd { fs: fd, rs1, off: imm },
-        OP_FSW => Fsw { fs: fd, rs1, off: imm },
-        OP_BEQ => Beq { rs1: rd, rs2: rs1, off: imm },
-        OP_BNE => Bne { rs1: rd, rs2: rs1, off: imm },
-        OP_BLT => Blt { rs1: rd, rs2: rs1, off: imm },
-        OP_BGE => Bge { rs1: rd, rs2: rs1, off: imm },
-        OP_BLTU => Bltu { rs1: rd, rs2: rs1, off: imm },
-        OP_BGEU => Bgeu { rs1: rd, rs2: rs1, off: imm },
+        OP_FSD => Fsd {
+            fs: fd,
+            rs1,
+            off: imm,
+        },
+        OP_FSW => Fsw {
+            fs: fd,
+            rs1,
+            off: imm,
+        },
+        OP_BEQ => Beq {
+            rs1: rd,
+            rs2: rs1,
+            off: imm,
+        },
+        OP_BNE => Bne {
+            rs1: rd,
+            rs2: rs1,
+            off: imm,
+        },
+        OP_BLT => Blt {
+            rs1: rd,
+            rs2: rs1,
+            off: imm,
+        },
+        OP_BGE => Bge {
+            rs1: rd,
+            rs2: rs1,
+            off: imm,
+        },
+        OP_BLTU => Bltu {
+            rs1: rd,
+            rs2: rs1,
+            off: imm,
+        },
+        OP_BGEU => Bgeu {
+            rs1: rd,
+            rs2: rs1,
+            off: imm,
+        },
         OP_JAL => {
             let raw = word & 0x1f_ffff;
             // Sign-extend the 21-bit field.
@@ -255,20 +299,67 @@ mod tests {
         let fr = FReg::new(7);
         let fr2 = FReg::new(30);
         let samples = [
-            Instr::Add { rd: r, rs1: r2, rs2: Reg::S5 },
-            Instr::Addi { rd: r, rs1: r2, imm: -1234 },
+            Instr::Add {
+                rd: r,
+                rs1: r2,
+                rs2: Reg::S5,
+            },
+            Instr::Addi {
+                rd: r,
+                rs1: r2,
+                imm: -1234,
+            },
             Instr::Movhi { rd: r, imm: 0xbeef },
-            Instr::Slli { rd: r, rs1: r2, shamt: 63 },
-            Instr::Ld { rd: r, rs1: r2, off: -8 },
-            Instr::Sd { rs2: r, rs1: r2, off: 4096 },
-            Instr::Fld { fd: fr, rs1: r2, off: 16 },
-            Instr::Fsw { fs: fr2, rs1: r2, off: -2 },
-            Instr::Beq { rs1: r, rs2: r2, off: -100 },
-            Instr::Jal { rd: Reg::RA, off: -123456 },
-            Instr::Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 },
-            Instr::FmulD { fd: fr, fs1: fr2, fs2: FReg::new(15) },
+            Instr::Slli {
+                rd: r,
+                rs1: r2,
+                shamt: 63,
+            },
+            Instr::Ld {
+                rd: r,
+                rs1: r2,
+                off: -8,
+            },
+            Instr::Sd {
+                rs2: r,
+                rs1: r2,
+                off: 4096,
+            },
+            Instr::Fld {
+                fd: fr,
+                rs1: r2,
+                off: 16,
+            },
+            Instr::Fsw {
+                fs: fr2,
+                rs1: r2,
+                off: -2,
+            },
+            Instr::Beq {
+                rs1: r,
+                rs2: r2,
+                off: -100,
+            },
+            Instr::Jal {
+                rd: Reg::RA,
+                off: -123456,
+            },
+            Instr::Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                imm: 0,
+            },
+            Instr::FmulD {
+                fd: fr,
+                fs1: fr2,
+                fs2: FReg::new(15),
+            },
             Instr::FcvtLD { rd: r, fs1: fr },
-            Instr::FeqD { rd: r, fs1: fr, fs2: fr2 },
+            Instr::FeqD {
+                rd: r,
+                fs1: fr,
+                fs2: fr2,
+            },
             Instr::Ecall,
             Instr::Halt,
         ];

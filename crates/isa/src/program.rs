@@ -101,7 +101,12 @@ mod tests {
 
     #[test]
     fn syscall_roundtrip() {
-        for s in [Syscall::Exit, Syscall::PutByte, Syscall::PutInt, Syscall::PutF64] {
+        for s in [
+            Syscall::Exit,
+            Syscall::PutByte,
+            Syscall::PutInt,
+            Syscall::PutF64,
+        ] {
             assert_eq!(Syscall::from_u64(s as u64), Some(s));
         }
         assert_eq!(Syscall::from_u64(99), None);

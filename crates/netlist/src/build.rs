@@ -523,7 +523,10 @@ impl Netlist {
         dividend: &[NetId],
         divisor: &[NetId],
     ) -> (Vec<NetId>, Vec<NetId>) {
-        assert!(!dividend.is_empty() && !divisor.is_empty(), "empty divider operand");
+        assert!(
+            !dividend.is_empty() && !divisor.is_empty(),
+            "empty divider operand"
+        );
         let n = dividend.len();
         let m = divisor.len();
         let w = m + 2; // partial remainder width (signed)
@@ -569,7 +572,10 @@ impl Netlist {
         low: &[NetId],
         divisor: &[NetId],
     ) -> (Vec<NetId>, Vec<NetId>) {
-        assert!(!low.is_empty() && !divisor.is_empty(), "empty divider operand");
+        assert!(
+            !low.is_empty() && !divisor.is_empty(),
+            "empty divider operand"
+        );
         let m = divisor.len();
         let n = low.len();
         let w = m + 2;
@@ -681,7 +687,14 @@ mod tests {
         let amt = nl.add_input_bus("amt", 5);
         let right = nl.barrel_shift_right(&a, &amt);
         let left = nl.barrel_shift_left(&a, &amt);
-        for (x, s) in [(0xffffu64, 4u64), (0x8001, 1), (0x1234, 12), (0xbeef, 0), (0xbeef, 16), (0xbeef, 31)] {
+        for (x, s) in [
+            (0xffffu64, 4u64),
+            (0x8001, 1),
+            (0x1234, 12),
+            (0xbeef, 0),
+            (0xbeef, 16),
+            (0xbeef, 31),
+        ] {
             let mut bits = Vec::new();
             for i in 0..16 {
                 bits.push((x >> i) & 1 == 1);
@@ -704,7 +717,13 @@ mod tests {
         let amt = nl.add_input_bus("amt", 4);
         let zero = nl.const_bit(false);
         let (_, sticky) = nl.barrel_shift_right_sticky(&a, &amt, zero);
-        for (x, s) in [(0b0000_0100u64, 2u64), (0b0000_0100, 3), (0b0000_0011, 2), (0b1000_0000, 8), (0, 7)] {
+        for (x, s) in [
+            (0b0000_0100u64, 2u64),
+            (0b0000_0100, 3),
+            (0b0000_0011, 2),
+            (0b1000_0000, 8),
+            (0, 7),
+        ] {
             let mut bits = Vec::new();
             for i in 0..8 {
                 bits.push((x >> i) & 1 == 1);
@@ -713,7 +732,11 @@ mod tests {
                 bits.push((s >> i) & 1 == 1);
             }
             let v = nl.eval(&bits);
-            let dropped_mask = if s >= 64 { u64::MAX } else { (1u64 << s.min(63)) - 1 };
+            let dropped_mask = if s >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << s.min(63)) - 1
+            };
             let expect = (x & dropped_mask) != 0;
             assert_eq!(v[sticky.index()], expect, "x={x:#b} s={s}");
         }
@@ -753,7 +776,14 @@ mod tests {
         let b = nl.add_input_bus("b", 9);
         let p = nl.array_multiplier(&a, &b);
         assert_eq!(p.len(), 16);
-        for (x, y) in [(0u64, 0u64), (1, 1), (127, 511), (100, 300), (85, 170), (127, 1)] {
+        for (x, y) in [
+            (0u64, 0u64),
+            (1, 1),
+            (127, 511),
+            (100, 300),
+            (85, 170),
+            (127, 1),
+        ] {
             let v = eval2(&nl, 7, 9, x, y);
             assert_eq!(bus_value_u64(&v, &p), x * y, "{x}*{y}");
         }

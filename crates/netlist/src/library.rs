@@ -83,12 +83,11 @@ impl CellLibrary {
     /// A unit-delay library (all logic cells 1.0 ns); handy for depth checks.
     pub fn unit() -> Self {
         use GateKind::*;
-        let table: Vec<(GateKind, f64)> = [
-            Buf, Not, And2, Or2, Nand2, Nor2, Xor2, Xnor2, Mux2, Maj3,
-        ]
-        .into_iter()
-        .map(|k| (k, 1.0))
-        .collect();
+        let table: Vec<(GateKind, f64)> =
+            [Buf, Not, And2, Or2, Nand2, Nor2, Xor2, Xnor2, Mux2, Maj3]
+                .into_iter()
+                .map(|k| (k, 1.0))
+                .collect();
         CellLibrary::from_table("unit", &table)
     }
 

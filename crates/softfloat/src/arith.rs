@@ -153,12 +153,11 @@ pub fn add(fmt: Format, a: u64, b: u64, cfg: FpuConfig, flags: &mut Flags) -> u6
     let f = fmt.frac_bits;
     let (ea, siga) = unpack_norm(fmt, a);
     let (eb, sigb) = unpack_norm(fmt, b);
-    let (sign_big, e_big, sig_big, sign_small, sig_small, diff) =
-        if (ea, siga) >= (eb, sigb) {
-            (sa, ea, siga << 3, sb, sigb << 3, (ea - eb) as u32)
-        } else {
-            (sb, eb, sigb << 3, sa, siga << 3, (eb - ea) as u32)
-        };
+    let (sign_big, e_big, sig_big, sign_small, sig_small, diff) = if (ea, siga) >= (eb, sigb) {
+        (sa, ea, siga << 3, sb, sigb << 3, (ea - eb) as u32)
+    } else {
+        (sb, eb, sigb << 3, sa, siga << 3, (eb - ea) as u32)
+    };
     let small = shr_sticky64(sig_small, diff);
     let (mut sum, sign) = if sign_big == sign_small {
         (sig_big + small, sign_big)
@@ -288,7 +287,12 @@ mod tests {
         (f64::from_bits(r), flags)
     }
 
-    fn check64(op: fn(Format, u64, u64, FpuConfig, &mut Flags) -> u64, native: fn(f64, f64) -> f64, a: f64, b: f64) {
+    fn check64(
+        op: fn(Format, u64, u64, FpuConfig, &mut Flags) -> u64,
+        native: fn(f64, f64) -> f64,
+        a: f64,
+        b: f64,
+    ) {
         let (r, _) = f64_op(op, a, b);
         let expect = native(a, b);
         if expect.is_nan() {
@@ -394,7 +398,10 @@ mod tests {
         ];
         for &(a, b) in cases {
             for (ours, native) in [
-                (add as fn(Format, u64, u64, FpuConfig, &mut Flags) -> u64, (|x, y| x + y) as fn(f32, f32) -> f32),
+                (
+                    add as fn(Format, u64, u64, FpuConfig, &mut Flags) -> u64,
+                    (|x, y| x + y) as fn(f32, f32) -> f32,
+                ),
                 (sub, |x, y| x - y),
                 (mul, |x, y| x * y),
                 (div, |x, y| x / y),
@@ -452,7 +459,13 @@ mod tests {
         assert_eq!(r, fmt.zero(false));
         // Negative subnormal × anything → signed zero.
         let mut flags = Flags::default();
-        let r = mul(fmt, (-f64::MIN_POSITIVE / 2.0).to_bits(), 3.0f64.to_bits(), cfg, &mut flags);
+        let r = mul(
+            fmt,
+            (-f64::MIN_POSITIVE / 2.0).to_bits(),
+            3.0f64.to_bits(),
+            cfg,
+            &mut flags,
+        );
         assert_eq!(r, fmt.zero(true));
     }
 

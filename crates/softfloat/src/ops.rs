@@ -241,7 +241,13 @@ mod tests {
             -9.0
         );
         assert_eq!(
-            apply(FpOp::new(FpOpKind::FtoI, d), (-2.75f64).to_bits(), 0, cfg, &mut flags) as i64,
+            apply(
+                FpOp::new(FpOpKind::FtoI, d),
+                (-2.75f64).to_bits(),
+                0,
+                cfg,
+                &mut flags
+            ) as i64,
             -2
         );
     }
@@ -252,7 +258,13 @@ mod tests {
         let cfg = FpuConfig::default();
         let s = Precision::Single;
         // -1 as a 32-bit pattern sign-extends correctly.
-        let r = apply(FpOp::new(FpOpKind::ItoF, s), 0xffff_ffff, 0, cfg, &mut flags);
+        let r = apply(
+            FpOp::new(FpOpKind::ItoF, s),
+            0xffff_ffff,
+            0,
+            cfg,
+            &mut flags,
+        );
         assert_eq!(f32::from_bits(r as u32), -1.0);
         // Saturation at the i32 boundary.
         let mut flags = Flags::default();

@@ -10,9 +10,8 @@ fn any_f64_bits() -> impl Strategy<Value = u64> {
     prop_oneof![
         any::<u64>(),
         // Exponent-structured values cluster near interesting binades.
-        (any::<bool>(), 0u64..2048, any::<u64>()).prop_map(|(s, e, f)| {
-            ((s as u64) << 63) | (e << 52) | (f & ((1 << 52) - 1))
-        }),
+        (any::<bool>(), 0u64..2048, any::<u64>())
+            .prop_map(|(s, e, f)| { ((s as u64) << 63) | (e << 52) | (f & ((1 << 52) - 1)) }),
         Just(0u64),
         Just(0x8000_0000_0000_0000),
         Just(f64::INFINITY.to_bits()),
@@ -25,15 +24,17 @@ fn any_f64_bits() -> impl Strategy<Value = u64> {
 fn any_f32_bits() -> impl Strategy<Value = u32> {
     prop_oneof![
         any::<u32>(),
-        (any::<bool>(), 0u32..256, any::<u32>()).prop_map(|(s, e, f)| {
-            ((s as u32) << 31) | (e << 23) | (f & ((1 << 23) - 1))
-        }),
+        (any::<bool>(), 0u32..256, any::<u32>())
+            .prop_map(|(s, e, f)| { ((s as u32) << 31) | (e << 23) | (f & ((1 << 23) - 1)) }),
     ]
 }
 
 fn check_f64(ours: u64, native: f64, what: &str, a: u64, b: u64) -> Result<(), TestCaseError> {
     if native.is_nan() {
-        prop_assert!(Format::F64.is_nan(ours), "{what}({a:#x}, {b:#x}) should be NaN");
+        prop_assert!(
+            Format::F64.is_nan(ours),
+            "{what}({a:#x}, {b:#x}) should be NaN"
+        );
     } else {
         prop_assert_eq!(
             ours,

@@ -338,7 +338,10 @@ mod tests {
             let f1 = model.factor_for(0.88, g);
             let f2 = model.factor_for(0.88, g);
             assert_eq!(f1, f2, "deterministic");
-            assert!((f1 / base - 1.0).abs() <= 0.05 + 1e-12, "bounded at gate {g}");
+            assert!(
+                (f1 / base - 1.0).abs() <= 0.05 + 1e-12,
+                "bounded at gate {g}"
+            );
         }
         // Jitter actually varies between gates.
         let a = model.factor_for(0.88, 1);
@@ -381,7 +384,10 @@ mod tests {
         // Aging bites harder at reduced voltage (smaller overdrive).
         let low_y5 = m.factor(0.88, 5.0) / m.factor(0.88, 0.0);
         let nom_y5 = y5 / fresh;
-        assert!(low_y5 > nom_y5, "low-voltage aging penalty {low_y5} vs {nom_y5}");
+        assert!(
+            low_y5 > nom_y5,
+            "low-voltage aging penalty {low_y5} vs {nom_y5}"
+        );
     }
 
     #[test]

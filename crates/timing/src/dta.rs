@@ -131,23 +131,14 @@ impl DtaEngine {
 
     /// Re-threshold an already-computed arrival result at another corner.
     /// Valid only for uniform derating (the default).
-    pub fn outcome_from_arrival(
-        &self,
-        buf: &TwoVectorResult,
-        clk: f64,
-        factor: f64,
-    ) -> DtaOutcome {
+    pub fn outcome_from_arrival(&self, buf: &TwoVectorResult, clk: f64, factor: f64) -> DtaOutcome {
         let golden: Vec<bool> = self.outputs.iter().map(|n| buf.cur[n.index()]).collect();
         let latched: Vec<bool> = self
             .outputs
             .iter()
             .map(|n| buf.latched(*n, clk, factor))
             .collect();
-        let mask = golden
-            .iter()
-            .zip(&latched)
-            .map(|(g, l)| g != l)
-            .collect();
+        let mask = golden.iter().zip(&latched).map(|(g, l)| g != l).collect();
         DtaOutcome {
             golden,
             latched,
@@ -170,11 +161,7 @@ impl DtaEngine {
             .map(|n| r.final_values[n.index()])
             .collect();
         let latched: Vec<bool> = self.outputs.iter().map(|n| r.latched[n.index()]).collect();
-        let mask = golden
-            .iter()
-            .zip(&latched)
-            .map(|(g, l)| g != l)
-            .collect();
+        let mask = golden.iter().zip(&latched).map(|(g, l)| g != l).collect();
         DtaOutcome {
             golden,
             latched,
@@ -207,7 +194,10 @@ mod tests {
             TimingEngine::Arrival,
             DeratingModel::default(),
         );
-        let op = OperatingPoint { vdd: 1.1, clk: 10.0 };
+        let op = OperatingPoint {
+            vdd: 1.1,
+            clk: 10.0,
+        };
         let out = eng.analyze(&[false], &[true], op);
         assert!(!out.has_error());
         assert_eq!(out.golden, out.latched);
@@ -218,7 +208,10 @@ mod tests {
         // Chain of depth 5 (5 ns nominal): meets a 6 ns clock nominally,
         // fails it at VR20 (5 × 1.52 ≈ 7.6 ns).
         let nl = chain_netlist(5);
-        let op_lo = OperatingPoint { vdd: 0.88, clk: 6.0 };
+        let op_lo = OperatingPoint {
+            vdd: 0.88,
+            clk: 6.0,
+        };
         for engine in [TimingEngine::Arrival, TimingEngine::EventDriven] {
             let eng = DtaEngine::new(nl.clone(), engine, DeratingModel::default());
             let nominal = eng.analyze(&[false], &[true], OperatingPoint { vdd: 1.1, clk: 6.0 });
@@ -238,7 +231,10 @@ mod tests {
             DeratingModel::default(),
         );
         let mut buf = TwoVectorResult::default();
-        let op = OperatingPoint { vdd: 0.935, clk: 4.8 };
+        let op = OperatingPoint {
+            vdd: 0.935,
+            clk: 4.8,
+        };
         let direct = eng.analyze_arrival_into(&[false], &[true], op, &mut buf);
         let k = AlphaPowerLaw::default().factor(0.935);
         let rethresh = eng.outcome_from_arrival(&buf, 4.8, k);
@@ -271,7 +267,14 @@ mod tests {
                 seed: 1,
             },
         );
-        let out = eng.analyze(&[false], &[true], OperatingPoint { vdd: 1.1, clk: 50.0 });
+        let out = eng.analyze(
+            &[false],
+            &[true],
+            OperatingPoint {
+                vdd: 1.1,
+                clk: 50.0,
+            },
+        );
         assert!(!out.has_error());
     }
 }

@@ -91,9 +91,7 @@ impl Sta {
         }
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> Ordering {
-                self.bound
-                    .partial_cmp(&other.bound)
-                    .expect("finite bounds")
+                self.bound.partial_cmp(&other.bound).expect("finite bounds")
             }
         }
 

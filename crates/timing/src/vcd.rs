@@ -196,7 +196,13 @@ impl Waveform {
 
 fn ident(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -270,6 +276,8 @@ mod tests {
         let ids: Vec<String> = (0..200).map(vcd_id).collect();
         let set: std::collections::BTreeSet<_> = ids.iter().collect();
         assert_eq!(set.len(), ids.len());
-        assert!(ids.iter().all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
+        assert!(ids
+            .iter()
+            .all(|s| s.chars().all(|c| ('!'..='~').contains(&c))));
     }
 }

@@ -1,0 +1,135 @@
+//! Property-based equivalence of the compiled [`ArrivalKernel`] against
+//! the reference [`ArrivalSim`]: identical steady-state values and
+//! bit-identical settle times on random DAGs, both for isolated
+//! two-vector runs and for chained `advance` streams (the DTA campaign
+//! access pattern, where each pair reuses the previous circuit state).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tei_netlist::{CellLibrary, GateKind, Netlist};
+use tei_timing::{ArrivalKernel, ArrivalSim, CompiledNetlist, TwoVectorResult};
+
+/// Build a random topologically-ordered DAG over `n_inputs` inputs.
+fn random_netlist(seed: u64, n_inputs: usize, n_gates: usize) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nl = Netlist::new("prop", CellLibrary::nangate45_like());
+    let mut nets = Vec::new();
+    for _ in 0..n_inputs {
+        nets.push(nl.add_input_bit());
+    }
+    let kinds = GateKind::all_logic();
+    for _ in 0..n_gates {
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let pins: Vec<_> = (0..kind.arity())
+            .map(|_| nets[rng.gen_range(0..nets.len())])
+            .collect();
+        nets.push(nl.add_gate(kind, &pins));
+    }
+    // Mark everything observable so nothing is dead for either engine.
+    nl.mark_output_bus("all", &nets);
+    nl
+}
+
+fn random_inputs(rng: &mut StdRng, n: usize) -> Vec<bool> {
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+fn assert_same(reference: &TwoVectorResult, got: &TwoVectorResult) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&got.prev, &reference.prev, "prev values");
+    prop_assert_eq!(&got.cur, &reference.cur, "cur values");
+    prop_assert_eq!(got.settle.len(), reference.settle.len(), "settle length");
+    for i in 0..reference.settle.len() {
+        prop_assert_eq!(
+            got.settle[i].to_bits(),
+            reference.settle[i].to_bits(),
+            "settle[{}]: kernel {} vs sim {}",
+            i,
+            got.settle[i],
+            reference.settle[i]
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn prop_kernel_matches_sim_two_vector(
+        seed in any::<u64>(),
+        n_inputs in 1usize..10,
+        n_gates in 1usize..160,
+    ) {
+        let nl = random_netlist(seed, n_inputs, n_gates);
+        let c = CompiledNetlist::compile(&nl);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut kernel = ArrivalKernel::new();
+        let mut got = TwoVectorResult::default();
+        for _ in 0..4 {
+            let prev = random_inputs(&mut rng, n_inputs);
+            let cur = random_inputs(&mut rng, n_inputs);
+            let reference = ArrivalSim::run(&nl, &prev, &cur);
+            kernel.run_into(&c, &prev, &cur, &mut got);
+            assert_same(&reference, &got)?;
+        }
+    }
+
+    #[test]
+    fn prop_chained_advances_match_sim(
+        seed in any::<u64>(),
+        n_inputs in 1usize..10,
+        n_gates in 1usize..160,
+        stream_len in 2usize..12,
+    ) {
+        let nl = random_netlist(seed, n_inputs, n_gates);
+        let c = CompiledNetlist::compile(&nl);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(2));
+        let stream: Vec<Vec<bool>> =
+            (0..stream_len).map(|_| random_inputs(&mut rng, n_inputs)).collect();
+
+        let mut kernel = ArrivalKernel::new();
+        let mut snap = TwoVectorResult::default();
+        kernel.reset(&c, &stream[0]);
+        for w in stream.windows(2) {
+            kernel.advance(&c, &w[1]);
+            kernel.snapshot_into(&mut snap);
+            let reference = ArrivalSim::run(&nl, &w[0], &w[1]);
+            assert_same(&reference, &snap)?;
+        }
+    }
+
+    #[test]
+    fn prop_window_transitions_match_sim(
+        seed in any::<u64>(),
+        n_inputs in 1usize..10,
+        n_gates in 1usize..160,
+        stream_len in 2usize..40,
+        window in 2usize..9,
+    ) {
+        let nl = random_netlist(seed, n_inputs, n_gates);
+        let c = CompiledNetlist::compile(&nl);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(3));
+        let stream: Vec<Vec<bool>> =
+            (0..stream_len).map(|_| random_inputs(&mut rng, n_inputs)).collect();
+
+        let mut kernel = ArrivalKernel::new();
+        let mut snap = TwoVectorResult::default();
+        let mut start = 0usize;
+        while start + 1 < stream.len() {
+            let count = (stream.len() - start).min(window);
+            let flat: Vec<bool> = stream[start..start + count]
+                .iter()
+                .flat_map(|v| v.iter().copied())
+                .collect();
+            kernel.load_window(&c, &flat, count);
+            for t in 0..kernel.window_transitions() {
+                kernel.select_transition(&c, t);
+                kernel.snapshot_into(&mut snap);
+                let reference = ArrivalSim::run(&nl, &stream[start + t], &stream[start + t + 1]);
+                assert_same(&reference, &snap)?;
+            }
+            start += count - 1;
+        }
+    }
+}

@@ -159,10 +159,26 @@ impl FuncCore {
                 self.state.set_x(rd, (pc + 1) as u64);
                 next = target as usize;
             }
-            FaddD { .. } | FsubD { .. } | FmulD { .. } | FdivD { .. } | FaddS { .. }
-            | FsubS { .. } | FmulS { .. } | FdivS { .. } | FcvtDL { .. } | FcvtSW { .. }
-            | FcvtLD { .. } | FcvtWS { .. } | FmvD { .. } | FnegD { .. } | FabsD { .. }
-            | FmvXD { .. } | FmvDX { .. } | FeqD { .. } | FltD { .. } | FleD { .. } => {
+            FaddD { .. }
+            | FsubD { .. }
+            | FmulD { .. }
+            | FdivD { .. }
+            | FaddS { .. }
+            | FsubS { .. }
+            | FmulS { .. }
+            | FdivS { .. }
+            | FcvtDL { .. }
+            | FcvtSW { .. }
+            | FcvtLD { .. }
+            | FcvtWS { .. }
+            | FmvD { .. }
+            | FnegD { .. }
+            | FabsD { .. }
+            | FmvXD { .. }
+            | FmvDX { .. }
+            | FeqD { .. }
+            | FltD { .. }
+            | FleD { .. } => {
                 let (fa, fb, xa) = fp_sources(&self.state, &i);
                 let out = sem::fp_op(self.fpu_cfg, &i, fa, fb, xa);
                 if out.trap {
@@ -250,9 +266,14 @@ pub(crate) fn fp_sources(state: &ArchState, i: &Instr) -> (u64, u64, u64) {
         | FeqD { fs1, fs2, .. }
         | FltD { fs1, fs2, .. }
         | FleD { fs1, fs2, .. } => (state.f(fs1), state.f(fs2), 0),
-        FaddS { fs1, fs2, .. } | FsubS { fs1, fs2, .. } | FmulS { fs1, fs2, .. }
+        FaddS { fs1, fs2, .. }
+        | FsubS { fs1, fs2, .. }
+        | FmulS { fs1, fs2, .. }
         | FdivS { fs1, fs2, .. } => (state.f(fs1) & 0xffff_ffff, state.f(fs2) & 0xffff_ffff, 0),
-        FcvtLD { fs1, .. } | FmvD { fs1, .. } | FnegD { fs1, .. } | FabsD { fs1, .. }
+        FcvtLD { fs1, .. }
+        | FmvD { fs1, .. }
+        | FnegD { fs1, .. }
+        | FabsD { fs1, .. }
         | FmvXD { fs1, .. } => (state.f(fs1), 0, 0),
         FcvtWS { fs1, .. } => (state.f(fs1) & 0xffff_ffff, 0, 0),
         FcvtDL { rs1, .. } | FcvtSW { rs1, .. } | FmvDX { rs1, .. } => (0, 0, state.x(rs1)),
@@ -264,12 +285,26 @@ pub(crate) fn fp_sources(state: &ArchState, i: &Instr) -> (u64, u64, u64) {
 pub(crate) fn write_fp_dest(state: &mut ArchState, i: &Instr, bits: u64) {
     use Instr::*;
     match *i {
-        FaddD { fd, .. } | FsubD { fd, .. } | FmulD { fd, .. } | FdivD { fd, .. }
-        | FaddS { fd, .. } | FsubS { fd, .. } | FmulS { fd, .. } | FdivS { fd, .. }
-        | FcvtDL { fd, .. } | FcvtSW { fd, .. } | FmvD { fd, .. } | FnegD { fd, .. }
-        | FabsD { fd, .. } | FmvDX { fd, .. } => state.set_f(fd, bits),
-        FcvtLD { rd, .. } | FcvtWS { rd, .. } | FmvXD { rd, .. } | FeqD { rd, .. }
-        | FltD { rd, .. } | FleD { rd, .. } => state.set_x(rd, bits),
+        FaddD { fd, .. }
+        | FsubD { fd, .. }
+        | FmulD { fd, .. }
+        | FdivD { fd, .. }
+        | FaddS { fd, .. }
+        | FsubS { fd, .. }
+        | FmulS { fd, .. }
+        | FdivS { fd, .. }
+        | FcvtDL { fd, .. }
+        | FcvtSW { fd, .. }
+        | FmvD { fd, .. }
+        | FnegD { fd, .. }
+        | FabsD { fd, .. }
+        | FmvDX { fd, .. } => state.set_f(fd, bits),
+        FcvtLD { rd, .. }
+        | FcvtWS { rd, .. }
+        | FmvXD { rd, .. }
+        | FeqD { rd, .. }
+        | FltD { rd, .. }
+        | FleD { rd, .. } => state.set_x(rd, bits),
         ref other => panic!("write_fp_dest on {other}"),
     }
 }

@@ -59,7 +59,10 @@ impl Memory {
     #[inline]
     fn offset(&self, addr: u64, width: usize, store: bool) -> Result<usize, MemFault> {
         let off = addr.wrapping_sub(DATA_BASE);
-        if off.checked_add(width as u64).is_none_or(|end| end > self.bytes.len() as u64) {
+        if off
+            .checked_add(width as u64)
+            .is_none_or(|end| end > self.bytes.len() as u64)
+        {
             return Err(MemFault { addr, store });
         }
         Ok(off as usize)
@@ -112,7 +115,11 @@ mod tests {
     #[test]
     fn roundtrip_all_widths() {
         let mut m = Memory::with_image(4096, &[]);
-        for (w, v) in [(1usize, 0xabu64), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
+        for (w, v) in [
+            (1usize, 0xabu64),
+            (4, 0xdead_beef),
+            (8, 0x0123_4567_89ab_cdef),
+        ] {
             m.store(DATA_BASE + 128, w, v).unwrap();
             assert_eq!(m.load(DATA_BASE + 128, w).unwrap(), v);
         }

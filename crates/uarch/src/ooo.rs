@@ -14,9 +14,9 @@
 //! control flow.
 
 use crate::arch::{ArchState, ExitReason, FpEvent, RunResult, Trap};
-use crate::sem::{write_kind, DestKind};
 use crate::mem::Memory;
 use crate::sem;
+use crate::sem::{write_kind, DestKind};
 use serde::{Deserialize, Serialize};
 use tei_isa::{FReg, Instr, Program, Reg, Syscall, DEFAULT_MEM_BYTES};
 use tei_softfloat::FpuConfig;
@@ -74,8 +74,14 @@ fn latency(i: &Instr) -> u64 {
         FmulD { .. } | FmulS { .. } => 6,
         FdivD { .. } | FdivS { .. } => 20,
         FcvtDL { .. } | FcvtLD { .. } | FcvtSW { .. } | FcvtWS { .. } => 4,
-        FmvD { .. } | FnegD { .. } | FabsD { .. } | FmvXD { .. } | FmvDX { .. }
-        | FeqD { .. } | FltD { .. } | FleD { .. } => 2,
+        FmvD { .. }
+        | FnegD { .. }
+        | FabsD { .. }
+        | FmvXD { .. }
+        | FmvDX { .. }
+        | FeqD { .. }
+        | FltD { .. }
+        | FleD { .. } => 2,
         _ => 1,
     }
 }
@@ -632,8 +638,18 @@ impl OooCore {
         let mut lat = latency(&instr);
         let mut exception = None;
         let value = match instr {
-            Add { .. } | Sub { .. } | And { .. } | Or { .. } | Xor { .. } | Sll { .. }
-            | Srl { .. } | Sra { .. } | Slt { .. } | Sltu { .. } | Mul { .. } | Div { .. }
+            Add { .. }
+            | Sub { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Sll { .. }
+            | Srl { .. }
+            | Sra { .. }
+            | Slt { .. }
+            | Sltu { .. }
+            | Mul { .. }
+            | Div { .. }
             | Rem { .. } => sem::int_op(&instr, a, b),
             Addi { imm, .. } | Slti { imm, .. } => sem::int_op(&instr, a, imm as i64 as u64),
             Andi { imm, .. } | Ori { imm, .. } | Xori { imm, .. } => {
@@ -641,8 +657,13 @@ impl OooCore {
             }
             Slli { .. } | Srli { .. } | Srai { .. } => sem::int_op(&instr, a, 0),
             Movhi { .. } => sem::int_op(&instr, 0, 0),
-            Ld { off, .. } | Lw { off, .. } | Lwu { off, .. } | Lb { off, .. }
-            | Lbu { off, .. } | Fld { off, .. } | Flw { off, .. } => {
+            Ld { off, .. }
+            | Lw { off, .. }
+            | Lwu { off, .. }
+            | Lb { off, .. }
+            | Lbu { off, .. }
+            | Fld { off, .. }
+            | Flw { off, .. } => {
                 let addr = a.wrapping_add(off as i64 as u64);
                 let (w, _) = sem::mem_width(&instr);
                 match self.load_with_forwarding(idx, addr, w) {
@@ -657,7 +678,10 @@ impl OooCore {
                     }
                 }
             }
-            Sd { off, .. } | Sw { off, .. } | Sb { off, .. } | Fsd { off, .. }
+            Sd { off, .. }
+            | Sw { off, .. }
+            | Sb { off, .. }
+            | Fsd { off, .. }
             | Fsw { off, .. } => {
                 let addr = a.wrapping_add(off as i64 as u64);
                 let (w, _) = sem::mem_width(&instr);
@@ -667,8 +691,12 @@ impl OooCore {
                 e.store_ready = true;
                 b // store data travels in the value field
             }
-            Beq { off, .. } | Bne { off, .. } | Blt { off, .. } | Bge { off, .. }
-            | Bltu { off, .. } | Bgeu { off, .. } => {
+            Beq { off, .. }
+            | Bne { off, .. }
+            | Blt { off, .. }
+            | Bge { off, .. }
+            | Bltu { off, .. }
+            | Bgeu { off, .. } => {
                 let taken = sem::branch_taken(&instr, a, b);
                 let target = if taken {
                     pc.wrapping_add(off as i64 as usize)
@@ -890,39 +918,65 @@ impl OooCore {
     fn rename_sources(&self, i: &Instr) -> ([Src; 2], Src) {
         use Instr::*;
         match *i {
-            Add { rs1, rs2, .. } | Sub { rs1, rs2, .. } | And { rs1, rs2, .. }
-            | Or { rs1, rs2, .. } | Xor { rs1, rs2, .. } | Sll { rs1, rs2, .. }
-            | Srl { rs1, rs2, .. } | Sra { rs1, rs2, .. } | Slt { rs1, rs2, .. }
-            | Sltu { rs1, rs2, .. } | Mul { rs1, rs2, .. } | Div { rs1, rs2, .. }
+            Add { rs1, rs2, .. }
+            | Sub { rs1, rs2, .. }
+            | And { rs1, rs2, .. }
+            | Or { rs1, rs2, .. }
+            | Xor { rs1, rs2, .. }
+            | Sll { rs1, rs2, .. }
+            | Srl { rs1, rs2, .. }
+            | Sra { rs1, rs2, .. }
+            | Slt { rs1, rs2, .. }
+            | Sltu { rs1, rs2, .. }
+            | Mul { rs1, rs2, .. }
+            | Div { rs1, rs2, .. }
             | Rem { rs1, rs2, .. } => ([self.read_x(rs1), self.read_x(rs2)], Src::None),
-            Addi { rs1, .. } | Andi { rs1, .. } | Ori { rs1, .. } | Xori { rs1, .. }
-            | Slti { rs1, .. } | Slli { rs1, .. } | Srli { rs1, .. } | Srai { rs1, .. }
+            Addi { rs1, .. }
+            | Andi { rs1, .. }
+            | Ori { rs1, .. }
+            | Xori { rs1, .. }
+            | Slti { rs1, .. }
+            | Slli { rs1, .. }
+            | Srli { rs1, .. }
+            | Srai { rs1, .. }
             | Jalr { rs1, .. } => ([self.read_x(rs1), Src::None], Src::None),
             Movhi { .. } | Jal { .. } | Ecall | Halt => ([Src::None, Src::None], Src::None),
-            Ld { rs1, .. } | Lw { rs1, .. } | Lwu { rs1, .. } | Lb { rs1, .. }
-            | Lbu { rs1, .. } | Fld { rs1, .. } | Flw { rs1, .. } => {
-                ([self.read_x(rs1), Src::None], Src::None)
-            }
+            Ld { rs1, .. }
+            | Lw { rs1, .. }
+            | Lwu { rs1, .. }
+            | Lb { rs1, .. }
+            | Lbu { rs1, .. }
+            | Fld { rs1, .. }
+            | Flw { rs1, .. } => ([self.read_x(rs1), Src::None], Src::None),
             Sd { rs1, rs2, .. } | Sw { rs1, rs2, .. } | Sb { rs1, rs2, .. } => {
                 ([self.read_x(rs1), self.read_x(rs2)], Src::None)
             }
             Fsd { rs1, fs, .. } | Fsw { rs1, fs, .. } => {
                 ([self.read_x(rs1), self.read_f(fs)], Src::None)
             }
-            Beq { rs1, rs2, .. } | Bne { rs1, rs2, .. } | Blt { rs1, rs2, .. }
-            | Bge { rs1, rs2, .. } | Bltu { rs1, rs2, .. } | Bgeu { rs1, rs2, .. } => {
-                ([self.read_x(rs1), self.read_x(rs2)], Src::None)
-            }
-            FaddD { fs1, fs2, .. } | FsubD { fs1, fs2, .. } | FmulD { fs1, fs2, .. }
-            | FdivD { fs1, fs2, .. } | FaddS { fs1, fs2, .. } | FsubS { fs1, fs2, .. }
-            | FmulS { fs1, fs2, .. } | FdivS { fs1, fs2, .. } | FeqD { fs1, fs2, .. }
-            | FltD { fs1, fs2, .. } | FleD { fs1, fs2, .. } => {
-                ([self.read_f(fs1), self.read_f(fs2)], Src::None)
-            }
-            FcvtLD { fs1, .. } | FcvtWS { fs1, .. } | FmvD { fs1, .. } | FnegD { fs1, .. }
-            | FabsD { fs1, .. } | FmvXD { fs1, .. } => {
-                ([self.read_f(fs1), Src::None], Src::None)
-            }
+            Beq { rs1, rs2, .. }
+            | Bne { rs1, rs2, .. }
+            | Blt { rs1, rs2, .. }
+            | Bge { rs1, rs2, .. }
+            | Bltu { rs1, rs2, .. }
+            | Bgeu { rs1, rs2, .. } => ([self.read_x(rs1), self.read_x(rs2)], Src::None),
+            FaddD { fs1, fs2, .. }
+            | FsubD { fs1, fs2, .. }
+            | FmulD { fs1, fs2, .. }
+            | FdivD { fs1, fs2, .. }
+            | FaddS { fs1, fs2, .. }
+            | FsubS { fs1, fs2, .. }
+            | FmulS { fs1, fs2, .. }
+            | FdivS { fs1, fs2, .. }
+            | FeqD { fs1, fs2, .. }
+            | FltD { fs1, fs2, .. }
+            | FleD { fs1, fs2, .. } => ([self.read_f(fs1), self.read_f(fs2)], Src::None),
+            FcvtLD { fs1, .. }
+            | FcvtWS { fs1, .. }
+            | FmvD { fs1, .. }
+            | FnegD { fs1, .. }
+            | FabsD { fs1, .. }
+            | FmvXD { fs1, .. } => ([self.read_f(fs1), Src::None], Src::None),
             FcvtDL { rs1, .. } | FcvtSW { rs1, .. } | FmvDX { rs1, .. } => {
                 ([Src::None, Src::None], self.read_x(rs1))
             }
@@ -947,7 +1001,11 @@ fn width_mask(w: usize) -> u64 {
 fn is_store(i: &Instr) -> bool {
     matches!(
         i,
-        Instr::Sd { .. } | Instr::Sw { .. } | Instr::Sb { .. } | Instr::Fsd { .. } | Instr::Fsw { .. }
+        Instr::Sd { .. }
+            | Instr::Sw { .. }
+            | Instr::Sb { .. }
+            | Instr::Fsd { .. }
+            | Instr::Fsw { .. }
     )
 }
 
@@ -958,8 +1016,12 @@ fn is_load(i: &Instr) -> bool {
 fn branch_offset(i: &Instr) -> i64 {
     use Instr::*;
     match i {
-        Beq { off, .. } | Bne { off, .. } | Blt { off, .. } | Bge { off, .. }
-        | Bltu { off, .. } | Bgeu { off, .. } => *off as i64,
+        Beq { off, .. }
+        | Bne { off, .. }
+        | Blt { off, .. }
+        | Bge { off, .. }
+        | Bltu { off, .. }
+        | Bgeu { off, .. } => *off as i64,
         _ => 0,
     }
 }

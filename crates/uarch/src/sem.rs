@@ -19,22 +19,70 @@ pub enum DestKind {
 pub fn write_kind(i: &Instr) -> DestKind {
     use Instr::*;
     let d = match *i {
-        Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. } | Xor { rd, .. }
-        | Sll { rd, .. } | Srl { rd, .. } | Sra { rd, .. } | Slt { rd, .. } | Sltu { rd, .. }
-        | Mul { rd, .. } | Div { rd, .. } | Rem { rd, .. } | Addi { rd, .. } | Andi { rd, .. }
-        | Ori { rd, .. } | Xori { rd, .. } | Slti { rd, .. } | Slli { rd, .. }
-        | Srli { rd, .. } | Srai { rd, .. } | Movhi { rd, .. } | Ld { rd, .. } | Lw { rd, .. }
-        | Lwu { rd, .. } | Lb { rd, .. } | Lbu { rd, .. } | Jal { rd, .. } | Jalr { rd, .. }
-        | FcvtLD { rd, .. } | FcvtWS { rd, .. } | FmvXD { rd, .. } | FeqD { rd, .. }
-        | FltD { rd, .. } | FleD { rd, .. } => DestKind::Int(rd),
-        Fld { fd, .. } | Flw { fd, .. } | FaddD { fd, .. } | FsubD { fd, .. }
-        | FmulD { fd, .. } | FdivD { fd, .. } | FaddS { fd, .. } | FsubS { fd, .. }
-        | FmulS { fd, .. } | FdivS { fd, .. } | FcvtDL { fd, .. } | FcvtSW { fd, .. }
-        | FmvD { fd, .. } | FnegD { fd, .. } | FabsD { fd, .. } | FmvDX { fd, .. } => {
-            DestKind::Fp(fd)
-        }
-        Sd { .. } | Sw { .. } | Sb { .. } | Fsd { .. } | Fsw { .. } | Beq { .. } | Bne { .. }
-        | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } | Ecall | Halt => DestKind::None,
+        Add { rd, .. }
+        | Sub { rd, .. }
+        | And { rd, .. }
+        | Or { rd, .. }
+        | Xor { rd, .. }
+        | Sll { rd, .. }
+        | Srl { rd, .. }
+        | Sra { rd, .. }
+        | Slt { rd, .. }
+        | Sltu { rd, .. }
+        | Mul { rd, .. }
+        | Div { rd, .. }
+        | Rem { rd, .. }
+        | Addi { rd, .. }
+        | Andi { rd, .. }
+        | Ori { rd, .. }
+        | Xori { rd, .. }
+        | Slti { rd, .. }
+        | Slli { rd, .. }
+        | Srli { rd, .. }
+        | Srai { rd, .. }
+        | Movhi { rd, .. }
+        | Ld { rd, .. }
+        | Lw { rd, .. }
+        | Lwu { rd, .. }
+        | Lb { rd, .. }
+        | Lbu { rd, .. }
+        | Jal { rd, .. }
+        | Jalr { rd, .. }
+        | FcvtLD { rd, .. }
+        | FcvtWS { rd, .. }
+        | FmvXD { rd, .. }
+        | FeqD { rd, .. }
+        | FltD { rd, .. }
+        | FleD { rd, .. } => DestKind::Int(rd),
+        Fld { fd, .. }
+        | Flw { fd, .. }
+        | FaddD { fd, .. }
+        | FsubD { fd, .. }
+        | FmulD { fd, .. }
+        | FdivD { fd, .. }
+        | FaddS { fd, .. }
+        | FsubS { fd, .. }
+        | FmulS { fd, .. }
+        | FdivS { fd, .. }
+        | FcvtDL { fd, .. }
+        | FcvtSW { fd, .. }
+        | FmvD { fd, .. }
+        | FnegD { fd, .. }
+        | FabsD { fd, .. }
+        | FmvDX { fd, .. } => DestKind::Fp(fd),
+        Sd { .. }
+        | Sw { .. }
+        | Sb { .. }
+        | Fsd { .. }
+        | Fsw { .. }
+        | Beq { .. }
+        | Bne { .. }
+        | Blt { .. }
+        | Bge { .. }
+        | Bltu { .. }
+        | Bgeu { .. }
+        | Ecall
+        | Halt => DestKind::None,
     };
     match d {
         DestKind::Int(r) if r == Reg::ZERO => DestKind::None,
@@ -214,23 +262,42 @@ mod tests {
         assert_eq!(int_op(&div, 5, 0), u64::MAX, "div by zero = all ones");
         let rem = r3(|rd, rs1, rs2| Instr::Rem { rd, rs1, rs2 });
         assert_eq!(int_op(&rem, 9, 0), 9, "rem by zero = dividend");
-        let movhi = Instr::Movhi { rd: Reg::A0, imm: 0xabcd };
+        let movhi = Instr::Movhi {
+            rd: Reg::A0,
+            imm: 0xabcd,
+        };
         assert_eq!(int_op(&movhi, 0, 0), 0xabcd_0000);
     }
 
     #[test]
     fn branch_semantics() {
-        let blt = Instr::Blt { rs1: Reg::A0, rs2: Reg::A1, off: 0 };
+        let blt = Instr::Blt {
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            off: 0,
+        };
         assert!(branch_taken(&blt, (-1i64) as u64, 0));
-        let bltu = Instr::Bltu { rs1: Reg::A0, rs2: Reg::A1, off: 0 };
+        let bltu = Instr::Bltu {
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            off: 0,
+        };
         assert!(!branch_taken(&bltu, (-1i64) as u64, 0), "unsigned compare");
     }
 
     #[test]
     fn load_extension() {
-        let lw = Instr::Lw { rd: Reg::A0, rs1: Reg::A1, off: 0 };
+        let lw = Instr::Lw {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            off: 0,
+        };
         assert_eq!(extend_load(&lw, 0x8000_0000) as i64, -(0x8000_0000i64));
-        let lbu = Instr::Lbu { rd: Reg::A0, rs1: Reg::A1, off: 0 };
+        let lbu = Instr::Lbu {
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            off: 0,
+        };
         assert_eq!(extend_load(&lbu, 0xff), 0xff);
     }
 
@@ -268,13 +335,22 @@ mod tests {
     #[test]
     fn fp_moves_and_sign_ops() {
         let cfg = FpuConfig::default();
-        let neg = Instr::FnegD { fd: FReg::F0, fs1: FReg::F1 };
+        let neg = Instr::FnegD {
+            fd: FReg::F0,
+            fs1: FReg::F1,
+        };
         let out = fp_op(cfg, &neg, 3.0f64.to_bits(), 0, 0);
         assert_eq!(f64::from_bits(out.bits), -3.0);
-        let abs = Instr::FabsD { fd: FReg::F0, fs1: FReg::F1 };
+        let abs = Instr::FabsD {
+            fd: FReg::F0,
+            fs1: FReg::F1,
+        };
         let out = fp_op(cfg, &abs, (-3.0f64).to_bits(), 0, 0);
         assert_eq!(f64::from_bits(out.bits), 3.0);
-        let mvdx = Instr::FmvDX { fd: FReg::F0, rs1: Reg::A0 };
+        let mvdx = Instr::FmvDX {
+            fd: FReg::F0,
+            rs1: Reg::A0,
+        };
         let out = fp_op(cfg, &mvdx, 0, 0, 0x1234);
         assert_eq!(out.bits, 0x1234);
     }

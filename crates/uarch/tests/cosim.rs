@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tei_isa::{FReg, ProgramBuilder, Program, Reg, Syscall, DATA_BASE};
+use tei_isa::{FReg, Program, ProgramBuilder, Reg, Syscall, DATA_BASE};
 use tei_uarch::{ExitReason, FuncCore, OooConfig, OooCore};
 
 /// Build a random but guaranteed-terminating program: a counted loop whose
@@ -15,7 +15,7 @@ fn random_program(seed: u64, body_len: usize, iters: i64) -> Program {
     let scratch = p.zeros(512);
     // Seed some FP data.
     let table: Vec<f64> = (0..8)
-        .map(|_| f64::from_bits((1023u64 + rng.gen_range(0..4)) << 52 | rng.gen::<u64>() >> 12))
+        .map(|_| f64::from_bits((1023u64 + rng.gen_range(0u64..4)) << 52 | rng.gen::<u64>() >> 12))
         .collect();
     let table_addr = p.doubles(&table);
 
@@ -73,7 +73,7 @@ fn random_program(seed: u64, body_len: usize, iters: i64) -> Program {
                 // Data-dependent forward skip (mispredict source).
                 let l = p.label();
                 p.blt(r1, r2, l);
-                skip_targets.push((b + 1 + rng.gen_range(0..3), l));
+                skip_targets.push((b + 1 + rng.gen_range(0usize..3), l));
             }
             11 => p.fcvt_d_l(fd, r1),
             12 => p.fcvt_l_d(rd, f1),
@@ -177,7 +177,10 @@ fn mispredicts_squash_and_recover() {
     let mut ooo = OooCore::with_memory(&prog, OooConfig::default(), 1 << 16);
     let r = ooo.run(10_000_000);
     assert_eq!(r.exit, ExitReason::Halted);
-    assert!(ooo.stats.mispredicts > 0, "alternating branch must mispredict");
+    assert!(
+        ooo.stats.mispredicts > 0,
+        "alternating branch must mispredict"
+    );
     assert!(ooo.stats.squashed > 0);
     assert_eq!(func.state.x(Reg::T0), ooo.state.x(Reg::T0));
     assert_eq!(func.state.x(Reg::T1), ooo.state.x(Reg::T1));

@@ -105,7 +105,7 @@ pub fn build(scale: Scale) -> Benchmark {
     let mv_i = p.here();
     p.fli(acc, 0.0, Reg::T6);
     p.li(Reg::S7, 0); // j
-    // row pointer = A + i*n*8
+                      // row pointer = A + i*n*8
     p.li(Reg::T0, (8 * n) as i64);
     p.mul(Reg::T0, Reg::S6, Reg::T0);
     p.add(Reg::S8, Reg::S0, Reg::T0);

@@ -66,7 +66,7 @@ pub fn build(scale: Scale) -> Benchmark {
     p.lbu(Reg::A1, wi - 1, Reg::T1); // sw
     p.lbu(Reg::A2, wi, Reg::T1); // s
     p.lbu(Reg::A3, wi + 1, Reg::T1); // se
-    // gx = (ne + 2e + se) - (nw + 2w + sw)
+                                     // gx = (ne + 2e + se) - (nw + 2w + sw)
     p.slli(Reg::T0, Reg::T6, 1);
     p.add(Reg::A4, Reg::T4, Reg::T0);
     p.add(Reg::A4, Reg::A4, Reg::A3);

@@ -61,19 +61,28 @@ fn mg_matches_native() {
 fn cg_verification_passes() {
     // The golden cg run must self-verify (first output line "1").
     let out = native_output(BenchmarkId::Cg, Scale::Test);
-    assert!(out.starts_with(b"1\n"), "cg verification failed in golden run");
+    assert!(
+        out.starts_with(b"1\n"),
+        "cg verification failed in golden run"
+    );
 }
 
 #[test]
 fn mg_verification_passes() {
     let out = native_output(BenchmarkId::Mg, Scale::Test);
-    assert!(out.starts_with(b"1\n"), "mg verification failed in golden run");
+    assert!(
+        out.starts_with(b"1\n"),
+        "mg verification failed in golden run"
+    );
 }
 
 #[test]
 fn is_verification_passes() {
     let out = native_output(BenchmarkId::Is, Scale::Test);
-    assert!(out.starts_with(b"1\n"), "is verification failed in golden run");
+    assert!(
+        out.starts_with(b"1\n"),
+        "is verification failed in golden run"
+    );
 }
 
 #[test]

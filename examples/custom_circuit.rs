@@ -26,7 +26,10 @@ fn main() {
     nl.mark_output_bus("result", &sum);
 
     let stats = NetlistStats::of(&nl);
-    println!("mac16: {} gates ({} inputs)", stats.logic_gates, stats.inputs);
+    println!(
+        "mac16: {} gates ({} inputs)",
+        stats.logic_gates, stats.inputs
+    );
 
     // Calibrate the static critical path to 3.8 ns; this MAC block runs on
     // a tight 3.0 ns clock domain, so its dynamically excited paths sit
@@ -58,10 +61,7 @@ fn main() {
         VoltageReduction::VR20,
         VoltageReduction::Custom(0.25),
     ] {
-        let op = OperatingPoint {
-            vdd: vr.vdd(),
-            clk,
-        };
+        let op = OperatingPoint { vdd: vr.vdd(), clk };
         let out = engine.analyze(&prev, &cur, op);
         println!(
             "{:9}: {} corrupted output bits (mask {:#010x})",

@@ -37,9 +37,7 @@ fn main() {
         settles.push(buf.max_settle(unit.result_port()));
         prev = cur;
     }
-    let er = |k: f64| {
-        settles.iter().filter(|&&s| s.min(clk) * k > clk).count() as f64 / n as f64
-    };
+    let er = |k: f64| settles.iter().filter(|&&s| s.min(clk) * k > clk).count() as f64 / n as f64;
 
     println!("\ntemperature sweep at 0.88 V (VR20):");
     let temp = TemperatureModel::default();
@@ -58,6 +56,11 @@ fn main() {
     println!("\noverclocking sweep at nominal voltage:");
     for pct in [0.0, 0.05, 0.10, 0.15, 0.20] {
         let k = overclock_factor(pct);
-        println!("  +{:4.0}% frequency: k = {:.3} → ER {:.3e}", 100.0 * pct, k, er(k));
+        println!(
+            "  +{:4.0}% frequency: k = {:.3} → ER {:.3e}",
+            100.0 * pct,
+            k,
+            er(k)
+        );
     }
 }

@@ -30,7 +30,10 @@ fn main() {
         "\n{}: sweeping supply reduction with the workload-aware model\n",
         id.name()
     );
-    println!("{:>6} {:>8} {:>10} {:>8} {:>14}", "VR", "Vdd", "WA-ER", "AVM", "power-savings");
+    println!(
+        "{:>6} {:>8} {:>10} {:>8} {:>14}",
+        "VR", "Vdd", "WA-ER", "AVM", "power-savings"
+    );
     let cfg = campaign::CampaignConfig {
         runs: 80,
         ..Default::default()

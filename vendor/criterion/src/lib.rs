@@ -1,0 +1,262 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the measurement surface the workspace's benches use:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion`],
+//! benchmark groups with [`Throughput`] and sample-size hints,
+//! [`Bencher::iter`], [`BenchmarkId`], and [`black_box`].
+//!
+//! Instead of criterion's statistical machinery this harness calibrates
+//! an iteration count against a fixed time budget and reports the mean
+//! wall-clock time per iteration (plus throughput when configured).
+//!
+//! Mode selection: when the binary is invoked by `cargo bench` (cargo
+//! passes `--bench`) each benchmark is measured for real. Under
+//! `cargo test`, which also runs `harness = false` bench targets, every
+//! benchmark executes exactly one iteration so the suite stays fast while
+//! still smoke-testing the bench code.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-per-iteration declaration used to report derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier rendered from a single parameter value.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Identifier with a function name and a parameter value.
+    #[must_use]
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Render the display name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.0
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the harness-chosen number of iterations and record the
+    /// total elapsed wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    quick: bool,
+    /// Wall-clock budget per benchmark in measurement mode.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes bench binaries with `--bench`; `cargo test`
+        // runs them bare (harness = false), where one iteration suffices.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            quick: !bench_mode,
+            budget: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Measure a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let label = id.into_id();
+        run_benchmark(self, &label, None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the work performed per iteration (reported as throughput).
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API parity; this harness sizes runs by time budget,
+    /// not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measure one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_id());
+        run_benchmark(self.criterion, &label, self.throughput, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Probe run: one iteration, which is also the full run in quick mode.
+    f(&mut bencher);
+    if criterion.quick {
+        println!("{label}: ok (quick mode, 1 iteration)");
+        return;
+    }
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (criterion.budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000_000) as u64;
+    bencher.iterations = iters;
+    f(&mut bencher);
+    let mean_ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+    let mut line = format!("{label}: {} /iter ({iters} iterations)", fmt_ns(mean_ns));
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 * 1e9 / mean_ns;
+        line.push_str(&format!(", {rate:.0} {unit}/s"));
+    }
+    println!("{line}");
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion {
+            quick: true,
+            budget: Duration::from_millis(10),
+        };
+        let mut calls = 0u64;
+        c.bench_function("counter", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measured_mode_calibrates() {
+        let mut c = Criterion {
+            quick: false,
+            budget: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(10);
+        let mut calls = 0u64;
+        group.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter(|| calls += 1);
+        });
+        group.finish();
+        assert!(calls > 1, "calibration should rerun the closure");
+    }
+}

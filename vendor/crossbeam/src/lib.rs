@@ -1,0 +1,90 @@
+//! Offline vendored stand-in for the `crossbeam` scoped-thread API.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so this
+//! shim maps the `crossbeam::scope(|s| ... s.spawn(|_| ...) ...)` surface
+//! the workspace uses directly onto [`std::thread::scope`]. The only
+//! behavioral difference: `scope` itself always returns `Ok` because every
+//! spawned handle in this workspace is explicitly joined (a panicking
+//! unjoined thread would propagate as a panic instead of an `Err`).
+
+use std::any::Any;
+
+/// Panic payload carried out of a joined thread.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope within which threads borrowing the environment may be spawned.
+#[derive(Copy, Clone)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a scoped thread; joins to the closure's return value.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the thread to finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if the thread panicked.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope
+    /// again (crossbeam convention), enabling nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let reentry = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&reentry)),
+        }
+    }
+}
+
+/// Run `f` with a thread scope; all spawned threads are joined before
+/// this returns.
+///
+/// # Errors
+///
+/// Never fails in this shim (see crate docs); the `Result` mirrors the
+/// upstream crossbeam signature so `.expect(...)` call sites compile.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn join_surfaces_panics() {
+        super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .expect("scope");
+    }
+}

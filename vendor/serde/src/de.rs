@@ -1,0 +1,310 @@
+//! Hand-rolled JSON pull parser used by the [`Deserialize`](crate::Deserialize)
+//! impls and the derive-generated code.
+
+use std::fmt;
+
+/// Deserialization error: a message plus the byte offset it occurred at.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    pos: usize,
+}
+
+impl Error {
+    /// Build an error at an explicit offset.
+    pub fn new(msg: impl Into<String>, pos: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            pos,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.pos)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({self})")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A cursor over JSON text.
+pub struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Start parsing `text`.
+    pub fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Build an error at the current offset.
+    pub fn err(&self, msg: &str) -> Error {
+        Error::new(msg, self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The next non-whitespace byte, without consuming it.
+    pub fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Consume `c` or fail.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the next non-whitespace byte is not `c`.
+    pub fn expect(&mut self, c: u8) -> Result<(), Error> {
+        if self.try_consume(c) {
+            Ok(())
+        } else {
+            let found = self.peek().map(|b| b as char);
+            Err(self.err(&format!("expected '{}', found {found:?}", c as char)))
+        }
+    }
+
+    /// Consume `c` if it is next; report whether it was.
+    pub fn try_consume(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when only trailing whitespace remains.
+    pub fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos == self.bytes.len()
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), Error> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{kw}'")))
+        }
+    }
+
+    /// Parse `null`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the input is not `null`.
+    pub fn parse_null(&mut self) -> Result<(), Error> {
+        self.keyword("null")
+    }
+
+    /// Parse `true` / `false`.
+    ///
+    /// # Errors
+    ///
+    /// Errors when the input is neither.
+    pub fn parse_bool(&mut self) -> Result<bool, Error> {
+        match self.peek() {
+            Some(b't') => self.keyword("true").map(|()| true),
+            Some(b'f') => self.keyword("false").map(|()| false),
+            _ => Err(self.err("expected boolean")),
+        }
+    }
+
+    fn number_token(&mut self) -> Result<&'a str, Error> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err("expected number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid utf-8 in number", start))
+    }
+
+    /// Parse an integer (rejects fractional forms).
+    ///
+    /// # Errors
+    ///
+    /// Errors on non-numeric or fractional input.
+    pub fn parse_number(&mut self) -> Result<i128, Error> {
+        let start = self.pos;
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|_| Error::new(format!("invalid integer {tok:?}"), start))
+    }
+
+    /// Parse any numeric token as `f64` (`null` reads as NaN, matching the
+    /// encoder's convention for non-finite values).
+    ///
+    /// # Errors
+    ///
+    /// Errors on non-numeric input.
+    pub fn parse_f64(&mut self) -> Result<f64, Error> {
+        if self.peek() == Some(b'n') {
+            self.parse_null()?;
+            return Ok(f64::NAN);
+        }
+        let start = self.pos;
+        let tok = self.number_token()?;
+        tok.parse()
+            .map_err(|_| Error::new(format!("invalid number {tok:?}"), start))
+    }
+
+    /// Parse a quoted string with escapes.
+    ///
+    /// # Errors
+    ///
+    /// Errors on malformed strings or escapes.
+    pub fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&e) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our encoder;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| self.err("invalid utf-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    /// Skip one complete JSON value of any shape.
+    ///
+    /// # Errors
+    ///
+    /// Errors on malformed input.
+    pub fn skip_value(&mut self) -> Result<(), Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_null(),
+            Some(b't') | Some(b'f') => self.parse_bool().map(|_| ()),
+            Some(b'"') => self.parse_string().map(|_| ()),
+            Some(b'[') => {
+                self.expect(b'[')?;
+                if self.try_consume(b']') {
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value()?;
+                    if self.try_consume(b',') {
+                        continue;
+                    }
+                    return self.expect(b']');
+                }
+            }
+            Some(b'{') => {
+                self.expect(b'{')?;
+                if self.try_consume(b'}') {
+                    return Ok(());
+                }
+                loop {
+                    self.parse_string()?;
+                    self.expect(b':')?;
+                    self.skip_value()?;
+                    if self.try_consume(b',') {
+                        continue;
+                    }
+                    return self.expect(b'}');
+                }
+            }
+            _ => self.parse_f64().map(|_| ()),
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_value_handles_nesting() {
+        let mut p = Parser::new(r#"{"a": [1, {"b": "x,y"}, null], "c": 2} "#);
+        p.skip_value().expect("skip");
+        assert!(p.at_end());
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let mut p = Parser::new(r#""héllo → wörld""#);
+        assert_eq!(p.parse_string().expect("parse"), "héllo → wörld");
+    }
+}

@@ -1,0 +1,417 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides a
+//! minimal JSON-backed serialization framework under the familiar names:
+//! [`Serialize`] / [`Deserialize`] traits plus `#[derive(Serialize,
+//! Deserialize)]` macros (from the sibling `serde_derive` shim). Unlike real
+//! serde there is no serializer abstraction — the data model *is* JSON —
+//! which is exactly what this workspace needs (`serde_json::to_string` /
+//! `from_str` round-trips of model artifacts).
+//!
+//! Wire-format conventions match `serde_json` defaults: structs are objects,
+//! newtype structs are transparent, unit enum variants are strings, and
+//! data-carrying variants are `{"Variant": payload}` objects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+
+use de::{Error, Parser};
+
+/// Serialize `self` as JSON appended to `out`.
+pub trait Serialize {
+    /// Append the JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Deserialize a value from the JSON text held by `p`.
+pub trait Deserialize: Sized {
+    /// Parse one JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] on malformed or mismatched input.
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 48], *self as i128));
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                let v = p.parse_number()?;
+                <$t>::try_from(v)
+                    .map_err(|_| p.err(concat!("number out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// u64 values above i64::MAX still fit i128, so `parse_number` returning i128
+// keeps full u64 range; helper to format any integer quickly.
+fn itoa_buf(buf: &mut [u8; 48], v: i128) -> &str {
+    use std::io::Write as _;
+    let mut cur = std::io::Cursor::new(&mut buf[..]);
+    write!(cur, "{v}").expect("48 bytes fit any i128 we format");
+    let n = cur.position() as usize;
+    std::str::from_utf8(&buf[..n]).expect("ascii")
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_bool()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{:?}` prints the shortest representation that round-trips.
+            use std::fmt::Write as _;
+            write!(out, "{self:?}").expect("write to String");
+        } else {
+            out.push_str("null"); // serde_json convention for NaN/inf
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        f64::from(*self).serialize_json(out);
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        Ok(p.parse_f64()? as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        p.parse_string()
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let s = p.parse_string()?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(p.err("expected single-character string")),
+        }
+    }
+}
+
+/// Escape and quote `s` as a JSON string.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            None => out.push_str("null"),
+            Some(v) => v.serialize_json(out),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        if p.peek() == Some(b'n') {
+            p.parse_null()?;
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize_json(p)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let mut out = Vec::new();
+        p.expect(b'[')?;
+        if p.try_consume(b']') {
+            return Ok(out);
+        }
+        loop {
+            out.push(T::deserialize_json(p)?);
+            if p.try_consume(b',') {
+                continue;
+            }
+            p.expect(b']')?;
+            return Ok(out);
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let v = Vec::<T>::deserialize_json(p)?;
+        let got = v.len();
+        v.try_into()
+            .map_err(|_| p.err(&format!("expected array of {N} elements, got {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+                p.expect(b'[')?;
+                let mut first = true;
+                let v = ($(
+                    {
+                        if !first { p.expect(b',')?; }
+                        first = false;
+                        $t::deserialize_json(p)?
+                    },
+                )+);
+                let _ = first;
+                p.expect(b']')?;
+                Ok(v)
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+/// Types usable as JSON object keys (serialized as strings).
+pub trait MapKey: Ord + Sized {
+    /// Append the quoted key string.
+    fn write_key(&self, out: &mut String);
+    /// Parse a key back from the unquoted key text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `text` does not encode a valid key.
+    fn parse_key(text: &str) -> Result<Self, String>;
+}
+
+impl MapKey for String {
+    fn write_key(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+    fn parse_key(text: &str) -> Result<Self, String> {
+        Ok(text.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn write_key(&self, out: &mut String) {
+                out.push('"');
+                out.push_str(itoa_buf(&mut [0u8; 48], *self as i128));
+                out.push('"');
+            }
+            fn parse_key(text: &str) -> Result<Self, String> {
+                text.parse().map_err(|e| format!("bad integer key {text:?}: {e}"))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            k.write_key(out);
+            out.push(':');
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_json(p: &mut Parser<'_>) -> Result<Self, Error> {
+        let mut out = std::collections::BTreeMap::new();
+        p.expect(b'{')?;
+        if p.try_consume(b'}') {
+            return Ok(out);
+        }
+        loop {
+            let key_text = p.parse_string()?;
+            let key = K::parse_key(&key_text).map_err(|m| p.err(&m))?;
+            p.expect(b':')?;
+            out.insert(key, V::deserialize_json(p)?);
+            if p.try_consume(b',') {
+                continue;
+            }
+            p.expect(b'}')?;
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    fn from_json<T: Deserialize>(s: &str) -> T {
+        let mut p = Parser::new(s);
+        T::deserialize_json(&mut p).expect("parse")
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_json(&42u64), "42");
+        assert_eq!(from_json::<u64>("42"), 42);
+        assert_eq!(to_json(&-7i32), "-7");
+        assert_eq!(from_json::<i32>("-7"), -7);
+        assert_eq!(to_json(&true), "true");
+        assert!(!from_json::<bool>("false"));
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(from_json::<f64>("1.5"), 1.5);
+        assert_eq!(from_json::<f64>("1e-3"), 1e-3);
+        assert_eq!(to_json(&u64::MAX), "18446744073709551615");
+        assert_eq!(from_json::<u64>("18446744073709551615"), u64::MAX);
+    }
+
+    #[test]
+    fn f64_shortest_round_trip() {
+        for v in [0.1f64, 1.0 / 3.0, 4.4e-21, 1e300, -0.0, 123456789.123456] {
+            let s = to_json(&v);
+            assert_eq!(from_json::<f64>(&s).to_bits(), v.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\u{1}e";
+        let j = to_json(&s.to_string());
+        assert_eq!(from_json::<String>(&j), s);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1u64, 2.5f64), (3, -0.5)];
+        assert_eq!(from_json::<Vec<(u64, f64)>>(&to_json(&v)), v);
+        let a = [1.0f64, 2.0, 3.0];
+        assert_eq!(from_json::<[f64; 3]>(&to_json(&a)), a);
+        let o: Option<u32> = None;
+        assert_eq!(to_json(&o), "null");
+        assert_eq!(from_json::<Option<u32>>("null"), None);
+        assert_eq!(from_json::<Option<u32>>("5"), Some(5));
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(3usize, 9u64);
+        m.insert(1, 7);
+        let j = to_json(&m);
+        assert_eq!(j, r#"{"1":7,"3":9}"#);
+        assert_eq!(from_json::<std::collections::BTreeMap<usize, u64>>(&j), m);
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The build environment has no access to crates.io, so this derive is
+//! written against `proc_macro` directly (no `syn`/`quote`). It supports
+//! exactly the shapes this workspace uses:
+//!
+//! - named-field structs
+//! - tuple structs (newtype structs serialize transparently, wider ones
+//!   as arrays, matching `serde_json` conventions)
+//! - enums with unit variants (`"Name"`), tuple variants
+//!   (`{"Name": payload}` / `{"Name": [a, b]}`), and struct variants
+//!   (`{"Name": {...}}`)
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally rejected:
+//! nothing in the workspace needs them, and failing loudly beats
+//! silently producing the wrong wire format.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    /// Skip any `#[...]` / `#![...]` attributes (doc comments arrive as
+    /// attributes too).
+    fn skip_attrs(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.i += 1;
+            if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+                self.i += 1;
+            }
+            match self.bump() {
+                Some(TokenTree::Group(_)) => {}
+                other => panic!("serde_derive: malformed attribute near {other:?}"),
+            }
+        }
+    }
+
+    /// Skip `pub` / `pub(crate)` / `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            self.i += 1;
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.i += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body near {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: unexpected enum body near {other:?}"),
+            };
+            let mut v = Cursor::new(body);
+            let mut variants = Vec::new();
+            loop {
+                v.skip_attrs();
+                if v.at_end() {
+                    break;
+                }
+                let vname = v.expect_ident();
+                let fields = match v.peek().cloned() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        v.i += 1;
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        v.i += 1;
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                // Skip an optional `= discriminant` up to the separating comma.
+                while !v.at_end() && !v.eat_punct(',') {
+                    v.i += 1;
+                }
+                variants.push((vname, fields));
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Extract field names from a named-field body, skipping each field's
+/// type. Commas nested in groups are invisible to us (a `Group` is one
+/// token), so only angle brackets (`BTreeMap<K, V>`) need depth tracking.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let fname = c.expect_ident();
+        if !c.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{fname}`");
+        }
+        fields.push(fname);
+        let mut angle = 0i32;
+        while let Some(t) = c.bump() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut count = 0usize;
+    let mut in_segment = false;
+    for t in ts {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if in_segment {
+                    count += 1;
+                }
+                in_segment = false;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(trait_name: &str, type_name: &str) -> String {
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all)]\nimpl ::serde::{trait_name} for {type_name} {{\n"
+    )
+}
+
+/// `out.push_str("\"field\":"); serialize(value);` for each field of an
+/// object body. `value_expr` maps a field name to the expression holding it.
+fn ser_named_body(fields: &[String], value_expr: impl Fn(&str) -> String) -> String {
+    let mut s = String::from("out.push('{');\n");
+    for (k, f) in fields.iter().enumerate() {
+        if k > 0 {
+            s.push_str("out.push(',');\n");
+        }
+        s.push_str(&format!("out.push_str(\"\\\"{f}\\\":\");\n"));
+        s.push_str(&format!(
+            "::serde::Serialize::serialize_json({}, out);\n",
+            value_expr(f)
+        ));
+    }
+    s.push_str("out.push('}');\n");
+    s
+}
+
+fn ser_seq_body(exprs: &[String]) -> String {
+    let mut s = String::from("out.push('[');\n");
+    for (k, e) in exprs.iter().enumerate() {
+        if k > 0 {
+            s.push_str("out.push(',');\n");
+        }
+        s.push_str(&format!("::serde::Serialize::serialize_json({e}, out);\n"));
+    }
+    s.push_str("out.push(']');\n");
+    s
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    let mut s = impl_header("Serialize", name);
+    s.push_str("fn serialize_json(&self, out: &mut ::std::string::String) {\n");
+    match item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Unit => s.push_str("out.push_str(\"null\");\n"),
+            Fields::Named(fs) => s.push_str(&ser_named_body(fs, |f| format!("&self.{f}"))),
+            Fields::Tuple(1) => {
+                s.push_str("::serde::Serialize::serialize_json(&self.0, out);\n");
+            }
+            Fields::Tuple(n) => {
+                let exprs: Vec<String> = (0..*n).map(|k| format!("&self.{k}")).collect();
+                s.push_str(&ser_seq_body(&exprs));
+            }
+        },
+        Item::Enum { name, variants } => {
+            s.push_str("match self {\n");
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        s.push_str(&format!(
+                            "{name}::{vname} => {{ out.push_str(\"\\\"{vname}\\\"\"); }}\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        s.push_str(&format!("{name}::{vname}(__v0) => {{\n"));
+                        s.push_str(&format!("out.push_str(\"{{\\\"{vname}\\\":\");\n"));
+                        s.push_str("::serde::Serialize::serialize_json(__v0, out);\n");
+                        s.push_str("out.push('}');\n}\n");
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__v{k}")).collect();
+                        s.push_str(&format!("{name}::{vname}({}) => {{\n", binds.join(", ")));
+                        s.push_str(&format!("out.push_str(\"{{\\\"{vname}\\\":\");\n"));
+                        s.push_str(&ser_seq_body(&binds));
+                        s.push_str("out.push('}');\n}\n");
+                    }
+                    Fields::Named(fs) => {
+                        s.push_str(&format!("{name}::{vname} {{ {} }} => {{\n", fs.join(", ")));
+                        s.push_str(&format!("out.push_str(\"{{\\\"{vname}\\\":\");\n"));
+                        s.push_str(&ser_named_body(fs, |f| f.to_string()));
+                        s.push_str("out.push('}');\n}\n");
+                    }
+                }
+            }
+            s.push_str("}\n");
+        }
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+/// Block expression that parses a JSON object into `ctor { fields... }`.
+fn de_named_expr(ctor: &str, fields: &[String]) -> String {
+    let mut s = String::from("{\np.expect(b'{')?;\n");
+    for f in fields {
+        s.push_str(&format!(
+            "let mut __f_{f}: ::std::option::Option<_> = ::std::option::Option::None;\n"
+        ));
+    }
+    s.push_str("if !p.try_consume(b'}') {\nloop {\n");
+    s.push_str("let __key = p.parse_string()?;\np.expect(b':')?;\n");
+    s.push_str("match __key.as_str() {\n");
+    for f in fields {
+        s.push_str(&format!(
+            "\"{f}\" => {{ __f_{f} = ::std::option::Option::Some(::serde::Deserialize::deserialize_json(p)?); }}\n"
+        ));
+    }
+    s.push_str("_ => { p.skip_value()?; }\n}\n");
+    s.push_str("if p.try_consume(b',') { continue; }\np.expect(b'}')?;\nbreak;\n}\n}\n");
+    s.push_str(&format!("{ctor} {{\n"));
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: __f_{f}.ok_or_else(|| p.err(\"missing field `{f}` in {ctor}\"))?,\n"
+        ));
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+/// Block expression parsing `[a, b, ...]` into `ctor(__v0, __v1, ...)`.
+fn de_seq_expr(ctor: &str, n: usize) -> String {
+    let mut s = String::from("{\np.expect(b'[')?;\n");
+    for k in 0..n {
+        if k > 0 {
+            s.push_str("p.expect(b',')?;\n");
+        }
+        s.push_str(&format!(
+            "let __v{k} = ::serde::Deserialize::deserialize_json(p)?;\n"
+        ));
+    }
+    s.push_str("p.expect(b']')?;\n");
+    let binds: Vec<String> = (0..n).map(|k| format!("__v{k}")).collect();
+    s.push_str(&format!("{ctor}({})\n}}\n", binds.join(", ")));
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    let mut s = impl_header("Deserialize", name);
+    s.push_str(
+        "fn deserialize_json(p: &mut ::serde::de::Parser<'_>) \
+         -> ::std::result::Result<Self, ::serde::de::Error> {\n",
+    );
+    match item {
+        Item::Struct { fields, .. } => match fields {
+            Fields::Unit => {
+                s.push_str(&format!(
+                    "p.parse_null()?;\n::std::result::Result::Ok({name})\n"
+                ));
+            }
+            Fields::Named(fs) => {
+                s.push_str(&format!(
+                    "::std::result::Result::Ok({})\n",
+                    de_named_expr(name, fs)
+                ));
+            }
+            Fields::Tuple(1) => {
+                s.push_str(&format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_json(p)?))\n"
+                ));
+            }
+            Fields::Tuple(n) => {
+                s.push_str(&format!(
+                    "::std::result::Result::Ok({})\n",
+                    de_seq_expr(name, *n)
+                ));
+            }
+        },
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as a bare string, data variants as a
+            // single-key object — mirror serde_json's externally tagged form.
+            s.push_str("if p.peek() == ::std::option::Option::Some(b'\"') {\n");
+            s.push_str("let __name = p.parse_string()?;\nmatch __name.as_str() {\n");
+            for (vname, fields) in variants {
+                if matches!(fields, Fields::Unit) {
+                    s.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+            }
+            s.push_str(&format!(
+                "_ => ::std::result::Result::Err(p.err(&format!(\"unknown variant `{{__name}}` of {name}\"))),\n"
+            ));
+            s.push_str("}\n} else {\n");
+            s.push_str("p.expect(b'{')?;\nlet __name = p.parse_string()?;\np.expect(b':')?;\n");
+            s.push_str("let __value = match __name.as_str() {\n");
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => {
+                        s.push_str(&format!(
+                            "\"{vname}\" => {name}::{vname}(::serde::Deserialize::deserialize_json(p)?),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        s.push_str(&format!(
+                            "\"{vname}\" => {},\n",
+                            de_seq_expr(&format!("{name}::{vname}"), *n)
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        s.push_str(&format!(
+                            "\"{vname}\" => {},\n",
+                            de_named_expr(&format!("{name}::{vname}"), fs)
+                        ));
+                    }
+                }
+            }
+            s.push_str(&format!(
+                "_ => return ::std::result::Result::Err(p.err(&format!(\"unknown variant `{{__name}}` of {name}\"))),\n"
+            ));
+            s.push_str("};\np.expect(b'}')?;\n::std::result::Result::Ok(__value)\n}\n");
+        }
+    }
+    s.push_str("}\n}\n");
+    s
+}

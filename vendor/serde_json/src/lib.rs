@@ -1,0 +1,304 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Provides the slice of the API this workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], the [`Value`] tree, and the
+//! [`json!`] macro. The vendored `serde` traits serialize directly to
+//! JSON text, so "serializing" here is just running them and, for the
+//! pretty variant, re-indenting the compact output.
+
+use serde::de::Parser;
+use serde::{Deserialize, Serialize};
+
+/// Error type shared with the vendored `serde` parser.
+pub type Error = serde::de::Error;
+
+/// Serialize `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the vendored implementation; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as two-space-indented JSON (serde_json style).
+///
+/// # Errors
+///
+/// Never fails for the vendored implementation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty_from_compact(&to_string(value)?))
+}
+
+/// Parse a value from JSON text, requiring the whole input be consumed.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed input, type mismatches, missing
+/// struct fields, or trailing non-whitespace content.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser::new(s);
+    let v = T::deserialize_json(&mut p)?;
+    if p.at_end() {
+        Ok(v)
+    } else {
+        Err(p.err("trailing characters after JSON value"))
+    }
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Re-indent compact JSON (no whitespace outside strings) the way
+/// `serde_json::to_string_pretty` does.
+fn pretty_from_compact(s: &str) -> String {
+    let b = s.as_bytes();
+    let mut out = String::with_capacity(s.len() * 2);
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => {
+                // Copy the whole string literal verbatim (it may contain
+                // braces, commas, and non-ASCII text).
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push_str(&s[start..i]);
+                continue;
+            }
+            open @ (b'{' | b'[') => {
+                let close = if open == b'{' { b'}' } else { b']' };
+                if b.get(i + 1) == Some(&close) {
+                    out.push(open as char);
+                    out.push(close as char);
+                    i += 2;
+                    continue;
+                }
+                out.push(open as char);
+                depth += 1;
+                out.push('\n');
+                push_indent(&mut out, depth);
+            }
+            close @ (b'}' | b']') => {
+                depth = depth.saturating_sub(1);
+                out.push('\n');
+                push_indent(&mut out, depth);
+                out.push(close as char);
+            }
+            b',' => {
+                out.push(',');
+                out.push('\n');
+                push_indent(&mut out, depth);
+            }
+            b':' => out.push_str(": "),
+            other => out.push(other as char),
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A dynamically-typed JSON value. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (kept exact, printed without a decimal point).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Serialize for Value {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => b.serialize_json(out),
+            Value::Int(i) => {
+                use std::fmt::Write as _;
+                write!(out, "{i}").expect("write to String");
+            }
+            Value::Float(f) => f.serialize_json(out),
+            Value::String(s) => serde::write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.serialize_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_string(k, out);
+                    out.push(':');
+                    v.serialize_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Conversion into [`Value`], used by the [`json!`] macro.
+pub trait IntoValue {
+    /// Convert `self` into a [`Value`].
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+impl IntoValue for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+}
+
+impl IntoValue for f64 {
+    fn into_value(self) -> Value {
+        Value::Float(self)
+    }
+}
+
+impl IntoValue for f32 {
+    fn into_value(self) -> Value {
+        Value::Float(f64::from(self))
+    }
+}
+
+macro_rules! impl_into_value_int {
+    ($($t:ty),*) => {$(
+        impl IntoValue for $t {
+            fn into_value(self) -> Value {
+                Value::Int(self as i128)
+            }
+        }
+    )*};
+}
+impl_into_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::String(self)
+    }
+}
+
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: IntoValue + Clone> IntoValue for &T {
+    fn into_value(self) -> Value {
+        self.clone().into_value()
+    }
+}
+
+impl<T: IntoValue> IntoValue for Vec<T> {
+    fn into_value(self) -> Value {
+        Value::Array(self.into_iter().map(IntoValue::into_value).collect())
+    }
+}
+
+impl<T: IntoValue + Clone> IntoValue for &[T] {
+    fn into_value(self) -> Value {
+        Value::Array(self.iter().cloned().map(IntoValue::into_value).collect())
+    }
+}
+
+impl<T: IntoValue> IntoValue for Option<T> {
+    fn into_value(self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.into_value(),
+        }
+    }
+}
+
+/// Build a [`Value`] from a JSON-looking literal: `json!({"k": expr, ...})`,
+/// `json!([a, b])`, `json!(null)`, or `json!(expr)`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::IntoValue::into_value(&$val)) ),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![
+            $( $crate::IntoValue::into_value(&$val) ),*
+        ])
+    };
+    ($other:expr) => { $crate::IntoValue::into_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_and_to_string() {
+        let v = json!({
+            "a": 1usize,
+            "b": vec![1.5f64, 2.0],
+            "c": "x\"y",
+            "d": Option::<f64>::None,
+            "e": vec![json!({"k": 1u32})],
+        });
+        assert_eq!(
+            to_string(&v).expect("serialize"),
+            r#"{"a":1,"b":[1.5,2.0],"c":"x\"y","d":null,"e":[{"k":1}]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_matches_serde_json_style() {
+        let v = json!({"a": 1u8, "b": vec![1u8, 2u8], "empty": Vec::<f64>::new()});
+        assert_eq!(
+            to_string_pretty(&v).expect("serialize"),
+            "{\n  \"a\": 1,\n  \"b\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn from_str_rejects_trailing_garbage() {
+        assert!(from_str::<u32>("12 ").is_ok());
+        assert!(from_str::<u32>("12 x").is_err());
+    }
+}
