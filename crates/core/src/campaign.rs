@@ -15,9 +15,13 @@ use crate::models::InjectionModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Mutex;
 use tei_softfloat::FpOp;
 use tei_timing::VoltageReduction;
-use tei_uarch::{ExitReason, FuncCore, OooConfig, OooCore};
+use tei_uarch::{
+    CheckpointPool, CheckpointRecorder, ExitReason, FuncCore, InjectedExit, OooConfig, OooCore,
+};
 use tei_workloads::Benchmark;
 
 /// Injection-run outcome categories (paper Section IV.A).
@@ -74,16 +78,41 @@ pub struct GoldenRun {
     pub squashed_by_op: Vec<u64>,
     /// Detailed-core statistics of the golden run.
     pub ooo_stats: tei_uarch::OooStats,
+    /// Golden-run checkpoints for the fork-replay engine, shared by all
+    /// campaign workers (cheap `Arc` clone).
+    pub checkpoints: CheckpointPool,
 }
 
 impl GoldenRun {
-    /// Execute the golden detailed + functional runs.
+    /// Execute the golden detailed + functional runs with the default
+    /// checkpoint interval (`TEI_CHECKPOINT_INTERVAL`, auto when unset).
     ///
     /// # Panics
     ///
     /// Panics if the error-free benchmark does not complete successfully or
     /// the two cores disagree (which the co-simulation tests rule out).
     pub fn capture(bench: &Benchmark, mem_bytes: usize, max_cycles: u64) -> Self {
+        Self::capture_with_checkpoints(
+            bench,
+            mem_bytes,
+            max_cycles,
+            crate::config::default_checkpoint_interval(),
+        )
+    }
+
+    /// [`GoldenRun::capture`] with an explicit checkpoint spacing in
+    /// dynamic FP operations (0 selects the auto policy). The spacing only
+    /// affects replay speed, never campaign outcomes.
+    ///
+    /// # Panics
+    ///
+    /// See [`GoldenRun::capture`].
+    pub fn capture_with_checkpoints(
+        bench: &Benchmark,
+        mem_bytes: usize,
+        max_cycles: u64,
+        checkpoint_interval: u64,
+    ) -> Self {
         let mut ooo = OooCore::with_memory(&bench.program, OooConfig::default(), mem_bytes);
         let od = ooo.run(max_cycles);
         assert!(
@@ -93,12 +122,25 @@ impl GoldenRun {
             od.exit
         );
         let mut func = FuncCore::with_memory(&bench.program, mem_bytes);
+        let mut recorder = CheckpointRecorder::new(&func, checkpoint_interval);
         let mut op_of: Vec<FpOp> = Vec::new();
-        let fr = func.run_with_hook(u64::MAX, &mut |ev| {
-            op_of.push(ev.op);
-            ev.result
-        });
-        assert!(fr.exit.is_success(), "golden functional run failed");
+        // Manual run loop so checkpoints are captured at instruction
+        // boundaries whenever the FP-op counter crosses the next mark.
+        let exit = loop {
+            recorder.observe(&func);
+            match func.step(&mut |ev| {
+                op_of.push(ev.op);
+                ev.result
+            }) {
+                Ok(None) => {}
+                Ok(Some(exit)) => break exit,
+                Err(trap) => break ExitReason::Trapped(trap),
+            }
+        };
+        assert!(
+            matches!(exit, ExitReason::Halted | ExitReason::Exited(0)),
+            "golden functional run failed: {exit:?}"
+        );
         assert_eq!(func.output, ooo.output, "core disagreement in golden run");
         let mut arch_by_op: Vec<Vec<u64>> = vec![Vec::new(); 12];
         for (i, op) in op_of.iter().enumerate() {
@@ -113,14 +155,38 @@ impl GoldenRun {
         GoldenRun {
             program: bench.program.clone(),
             mem_bytes,
+            instructions: func.instructions(),
+            fp_ops: func.fp_ops(),
             output: func.output,
-            instructions: fr.instructions,
-            fp_ops: fr.fp_ops,
             cycles: ooo.stats.cycles,
             arch_by_op,
             squashed_by_op,
             ooo_stats: ooo.stats.clone(),
+            checkpoints: recorder.finish(),
         }
+    }
+}
+
+/// How each injection run replays the corrupted execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplayMode {
+    /// Fresh core per run, full re-execution from instruction zero (the
+    /// original engine; kept as the reference baseline).
+    FromZero,
+    /// Fork from the nearest golden checkpoint, fast-forward hook-free to
+    /// the target, and cut the run short on state re-convergence.
+    /// `memoize` additionally dedupes repeated `(target, mask)` draws
+    /// behind a per-cell concurrent map (outcomes are deterministic given
+    /// the pair, so only unique pairs are replayed).
+    Checkpointed {
+        /// Enable the `(target, mask)` outcome cache.
+        memoize: bool,
+    },
+}
+
+impl Default for ReplayMode {
+    fn default() -> Self {
+        ReplayMode::Checkpointed { memoize: true }
     }
 }
 
@@ -135,6 +201,9 @@ pub struct CampaignConfig {
     pub timeout_factor: f64,
     /// Worker threads.
     pub threads: usize,
+    /// Replay engine. Outcome tallies are byte-identical across modes and
+    /// thread counts; only wall-clock differs.
+    pub mode: ReplayMode,
 }
 
 impl Default for CampaignConfig {
@@ -144,6 +213,7 @@ impl Default for CampaignConfig {
             seed: 0x7e1_c0de,
             timeout_factor: 2.0,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            mode: ReplayMode::default(),
         }
     }
 }
@@ -165,6 +235,12 @@ pub struct OutcomeCounts {
     /// Subset of `masked`: the model assigned zero error probability to
     /// every executed instruction, so no error manifests at this corner.
     pub masked_no_error: u64,
+    /// Runs whose drawn target FP event never fired during replay (e.g. a
+    /// trap or the step budget hit before reaching it). Should stay 0 —
+    /// targets are drawn from committed golden events, and the identical
+    /// prefix guarantees they are reached; a non-zero value flags silent
+    /// mis-targeting.
+    pub mistargeted: u64,
 }
 
 impl OutcomeCounts {
@@ -184,6 +260,7 @@ impl OutcomeCounts {
         self.timeout += other.timeout;
         self.masked_wrong_path += other.masked_wrong_path;
         self.masked_no_error += other.masked_no_error;
+        self.mistargeted += other.mistargeted;
     }
 
     /// Total runs tallied.
@@ -244,74 +321,222 @@ pub fn model_error_ratio<M: InjectionModel + ?Sized>(model: &M, golden: &GoldenR
     expected / golden.fp_ops as f64
 }
 
-/// Run one injection experiment; returns the outcome.
-fn one_run<M: InjectionModel + Sync + ?Sized>(
-    golden: &GoldenRun,
-    model: &M,
-    timeout_steps: u64,
-    seed: u64,
-) -> (Outcome, bool, bool) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    // Event weights per op: architectural + wrong-path writebacks, each
-    // weighted by the model's per-instruction error probability.
-    let mut weights = [0f64; 12];
-    let mut total = 0.0;
-    for op in FpOp::all() {
-        let i = op.index();
-        let events = golden.arch_by_op[i].len() as f64 + golden.squashed_by_op[i] as f64;
-        weights[i] = model.error_ratio(op) * events;
-        total += weights[i];
-    }
-    if total <= 0.0 {
-        // The model predicts no errors anywhere in this execution.
-        return (Outcome::Masked, false, true);
-    }
-    // Draw the target operation type.
-    let mut draw = rng.gen_range(0.0..total);
-    let mut op_idx = 11;
-    for (i, &w) in weights.iter().enumerate() {
-        if draw < w {
-            op_idx = i;
-            break;
-        }
-        draw -= w;
-    }
-    let op = FpOp::all()[op_idx];
-    let arch_count = golden.arch_by_op[op_idx].len() as u64;
-    let squashed = golden.squashed_by_op[op_idx];
-    // Wrong-path hit → microarchitectural masking.
-    if rng.gen_range(0..arch_count + squashed) >= arch_count {
-        return (Outcome::Masked, true, false);
-    }
-    let target = golden.arch_by_op[op_idx][rng.gen_range(0..arch_count as usize)];
-    let mask = model.sample_mask(op, &mut rng);
-    debug_assert_ne!(mask, 0, "models must produce non-empty masks");
+/// Per-cell draw tables, hoisted out of the per-run loop: event weights
+/// per op (architectural + wrong-path writebacks, each weighted by the
+/// model's per-instruction error probability). The per-run scan over the
+/// 12 entries is kept bit-identical to the original per-run computation.
+struct CellPlan {
+    weights: [f64; 12],
+    total: f64,
+}
 
-    // Corrupted functional replay.
-    let mut core = FuncCore::with_memory(&golden.program, golden.mem_bytes);
-    let mut injected = false;
-    let r = core.run_with_hook(timeout_steps, &mut |ev| {
-        if ev.index == target {
-            injected = true;
-            ev.result ^ mask
-        } else {
-            ev.result
+impl CellPlan {
+    fn new<M: InjectionModel + ?Sized>(golden: &GoldenRun, model: &M) -> Self {
+        let mut weights = [0f64; 12];
+        let mut total = 0.0;
+        for op in FpOp::all() {
+            let i = op.index();
+            let events = golden.arch_by_op[i].len() as f64 + golden.squashed_by_op[i] as f64;
+            weights[i] = model.error_ratio(op) * events;
+            total += weights[i];
         }
-    });
-    let outcome = match r.exit {
+        CellPlan { weights, total }
+    }
+}
+
+/// Per-cell memoization of replay outcomes: given the same `(target FP
+/// index, XOR mask)` pair the corrupted execution is deterministic, so
+/// repeated draws across a cell's runs replay only once. The `bool`
+/// records whether the target event fired.
+type MemoCache = Mutex<HashMap<(u64, u64), (Outcome, bool)>>;
+
+/// Tally of one injection run.
+struct RunTally {
+    outcome: Outcome,
+    wrong_path: bool,
+    no_error: bool,
+    mistargeted: bool,
+}
+
+/// Per-worker replay context: the reusable fork core (checkpointed mode)
+/// plus a reference to the shared memo cache.
+struct Runner<'a, M: ?Sized> {
+    golden: &'a GoldenRun,
+    model: &'a M,
+    plan: &'a CellPlan,
+    timeout_steps: u64,
+    /// Reusable core for checkpoint restores; `None` in from-zero mode.
+    fork: Option<FuncCore>,
+    cache: Option<&'a MemoCache>,
+}
+
+impl<'a, M: InjectionModel + ?Sized> Runner<'a, M> {
+    fn new(
+        golden: &'a GoldenRun,
+        model: &'a M,
+        plan: &'a CellPlan,
+        timeout_steps: u64,
+        mode: ReplayMode,
+        cache: Option<&'a MemoCache>,
+    ) -> Runner<'a, M> {
+        let fork = match mode {
+            ReplayMode::FromZero => None,
+            ReplayMode::Checkpointed { .. } => {
+                Some(FuncCore::with_memory(&golden.program, golden.mem_bytes))
+            }
+        };
+        Runner {
+            golden,
+            model,
+            plan,
+            timeout_steps,
+            fork,
+            cache,
+        }
+    }
+
+    /// Run one injection experiment.
+    fn one_run(&mut self, seed: u64) -> RunTally {
+        let golden = self.golden;
+        let mut rng = StdRng::seed_from_u64(seed);
+        if self.plan.total <= 0.0 {
+            // The model predicts no errors anywhere in this execution.
+            return RunTally {
+                outcome: Outcome::Masked,
+                wrong_path: false,
+                no_error: true,
+                mistargeted: false,
+            };
+        }
+        // Draw the target operation type.
+        let mut draw = rng.gen_range(0.0..self.plan.total);
+        let mut op_idx = 11;
+        for (i, &w) in self.plan.weights.iter().enumerate() {
+            if draw < w {
+                op_idx = i;
+                break;
+            }
+            draw -= w;
+        }
+        let op = FpOp::all()[op_idx];
+        let arch_count = golden.arch_by_op[op_idx].len() as u64;
+        let squashed = golden.squashed_by_op[op_idx];
+        // Wrong-path hit → microarchitectural masking.
+        if rng.gen_range(0..arch_count + squashed) >= arch_count {
+            return RunTally {
+                outcome: Outcome::Masked,
+                wrong_path: true,
+                no_error: false,
+                mistargeted: false,
+            };
+        }
+        let target = golden.arch_by_op[op_idx][rng.gen_range(0..arch_count as usize)];
+        let mask = self.model.sample_mask(op, &mut rng);
+        debug_assert_ne!(mask, 0, "models must produce non-empty masks");
+
+        let (outcome, fired) = if let Some(cache) = self.cache {
+            let hit = cache
+                .lock()
+                .expect("memo cache")
+                .get(&(target, mask))
+                .copied();
+            match hit {
+                Some(memoized) => memoized,
+                None => {
+                    let fresh = self.replay(target, mask);
+                    cache
+                        .lock()
+                        .expect("memo cache")
+                        .insert((target, mask), fresh);
+                    fresh
+                }
+            }
+        } else {
+            self.replay(target, mask)
+        };
+        debug_assert!(fired, "target FP event {target} never fired");
+        RunTally {
+            outcome,
+            wrong_path: false,
+            no_error: false,
+            mistargeted: !fired,
+        }
+    }
+
+    /// Replay the corrupted execution and classify it.
+    fn replay(&mut self, target: u64, mask: u64) -> (Outcome, bool) {
+        let golden = self.golden;
+        match &mut self.fork {
+            // Checkpointed fork-replay with early-convergence cutoff.
+            Some(core) => {
+                let inj = golden
+                    .checkpoints
+                    .run_injected(core, self.timeout_steps, target, mask);
+                let outcome = match inj.exit {
+                    InjectedExit::Converged {
+                        output_matches,
+                        instructions,
+                        checkpoint_instructions,
+                    } => {
+                        // The rest of the run is identical to the golden
+                        // suffix; apply the timeout criterion to the
+                        // implied full instruction count.
+                        let total = instructions + (golden.instructions - checkpoint_instructions);
+                        if total > self.timeout_steps {
+                            Outcome::Timeout
+                        } else if output_matches {
+                            Outcome::Masked
+                        } else {
+                            Outcome::Sdc
+                        }
+                    }
+                    InjectedExit::Finished(r) => classify(r.exit, &core.output, &golden.output),
+                };
+                (outcome, inj.fired)
+            }
+            // Reference engine: full functional replay from instruction 0.
+            None => {
+                let mut core = FuncCore::with_memory(&golden.program, golden.mem_bytes);
+                let mut injected = false;
+                let r = core.run_with_hook(self.timeout_steps, &mut |ev| {
+                    if ev.index == target {
+                        injected = true;
+                        ev.result ^ mask
+                    } else {
+                        ev.result
+                    }
+                });
+                (classify(r.exit, &core.output, &golden.output), injected)
+            }
+        }
+    }
+}
+
+/// Map an exit + output comparison to the paper's outcome taxonomy.
+fn classify(exit: ExitReason, output: &[u8], golden_output: &[u8]) -> Outcome {
+    match exit {
         ExitReason::Trapped(_) => Outcome::Crash,
         ExitReason::Limit => Outcome::Timeout,
         ExitReason::Exited(c) if c != 0 => Outcome::Crash,
         ExitReason::Halted | ExitReason::Exited(_) => {
-            if core.output == golden.output {
+            if output == golden_output {
                 Outcome::Masked
             } else {
                 Outcome::Sdc
             }
         }
-    };
-    let _ = injected;
-    (outcome, false, false)
+    }
+}
+
+/// Stable 64-bit FNV-1a over the model name — salts the per-cell seed so
+/// DA/IA/WA cells at the same VR draw decorrelated outcome streams.
+fn model_salt(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Run a full campaign cell in parallel.
@@ -322,9 +547,18 @@ pub fn run_campaign<M: InjectionModel + Sync + ?Sized>(
     cfg: &CampaignConfig,
 ) -> CampaignResult {
     let timeout_steps = (golden.instructions as f64 * cfg.timeout_factor).ceil() as u64;
-    // Decorrelate cells that share a base seed (e.g. the same model family
-    // at different corners).
+    // Decorrelate cells that share a base seed: different corners via the
+    // VR salt, different model families at the same corner via the model
+    // name salt.
     let vr_salt = (model.vr().fraction() * 1e6) as u64;
+    let seed = cfg.seed
+        ^ vr_salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ model_salt(model.name()).wrapping_mul(0xff51_afd7_ed55_8ccd);
+    let plan = CellPlan::new(golden, model);
+    let cache: Option<MemoCache> = match cfg.mode {
+        ReplayMode::Checkpointed { memoize: true } => Some(Mutex::new(HashMap::new())),
+        _ => None,
+    };
     let runs = cfg.runs;
     let threads = cfg.threads.clamp(1, runs.max(1));
     let chunk = runs.div_ceil(threads);
@@ -337,18 +571,21 @@ pub fn run_campaign<M: InjectionModel + Sync + ?Sized>(
             if lo >= hi {
                 break;
             }
-            let seed = cfg.seed ^ vr_salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let (plan, cache) = (&plan, cache.as_ref());
             handles.push(scope.spawn(move |_| {
                 let mut local = OutcomeCounts::default();
+                let mut runner = Runner::new(golden, model, plan, timeout_steps, cfg.mode, cache);
                 for r in lo..hi {
-                    let (o, wrong_path, no_error) =
-                        one_run(golden, model, timeout_steps, seed ^ ((r as u64) << 20));
-                    local.add(o);
-                    if wrong_path {
+                    let tally = runner.one_run(seed ^ ((r as u64) << 20));
+                    local.add(tally.outcome);
+                    if tally.wrong_path {
                         local.masked_wrong_path += 1;
                     }
-                    if no_error {
+                    if tally.no_error {
                         local.masked_no_error += 1;
+                    }
+                    if tally.mistargeted {
+                        local.mistargeted += 1;
                     }
                 }
                 local

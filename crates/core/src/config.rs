@@ -28,6 +28,16 @@ pub fn default_dta_samples() -> usize {
     env_usize("TEI_DTA_SAMPLES", fallback)
 }
 
+/// Golden-run checkpoint spacing in dynamic FP operations for the
+/// fork-replay campaign engine. 0 selects the recorder's auto policy
+/// (a dense initial interval with adaptive thinning under a fixed
+/// snapshot cap). Spacing is a pure performance knob — campaign outcome
+/// tallies are identical for every value. Override with
+/// `TEI_CHECKPOINT_INTERVAL`.
+pub fn default_checkpoint_interval() -> u64 {
+    env_usize("TEI_CHECKPOINT_INTERVAL", 0) as u64
+}
+
 /// Worker threads for sharded DTA campaigns and per-op model building.
 /// Defaults to all available cores; override with `TEI_THREADS` (set it
 /// to 1 for fully serial execution — results are identical either way).

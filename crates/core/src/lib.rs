@@ -45,6 +45,6 @@ pub mod models;
 pub mod power;
 pub mod stats;
 
-pub use campaign::{CampaignConfig, CampaignResult, GoldenRun, Outcome, OutcomeCounts};
+pub use campaign::{CampaignConfig, CampaignResult, GoldenRun, Outcome, OutcomeCounts, ReplayMode};
 pub use dev::{DaCalibration, OpErrorStats, TraceSet};
 pub use models::{DaModel, InjectionModel, MaskSampling, ModelKind, StatModel};

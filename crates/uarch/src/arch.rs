@@ -6,7 +6,10 @@ use tei_isa::{FReg, Reg};
 use tei_softfloat::FpOp;
 
 /// Architectural register state plus the program counter.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare the full register files and PC — the
+/// register-side half of the checkpoint convergence test.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArchState {
     x: [u64; 32],
     f: [u64; 32],

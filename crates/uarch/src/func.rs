@@ -20,8 +20,8 @@ pub struct FuncCore {
     pub output: Vec<u8>,
     text: Vec<Instr>,
     fpu_cfg: FpuConfig,
-    instructions: u64,
-    fp_ops: u64,
+    pub(crate) instructions: u64,
+    pub(crate) fp_ops: u64,
 }
 
 impl FuncCore {
@@ -67,6 +67,17 @@ impl FuncCore {
     pub fn step(
         &mut self,
         fp_hook: &mut dyn FnMut(&FpEvent) -> u64,
+    ) -> Result<Option<ExitReason>, Trap> {
+        self.step_with(fp_hook)
+    }
+
+    /// Monomorphic variant of [`FuncCore::step`]: hot loops (golden
+    /// fast-forward, checkpoint replay) instantiate it with an inline
+    /// closure, eliminating the per-FP-event dynamic dispatch.
+    #[inline]
+    pub(crate) fn step_with<F: FnMut(&FpEvent) -> u64 + ?Sized>(
+        &mut self,
+        fp_hook: &mut F,
     ) -> Result<Option<ExitReason>, Trap> {
         use Instr::*;
         let pc = self.state.pc;
@@ -241,7 +252,7 @@ impl FuncCore {
             if self.instructions - start >= max_steps {
                 break ExitReason::Limit;
             }
-            match self.step(fp_hook) {
+            match self.step_with(fp_hook) {
                 Ok(None) => {}
                 Ok(Some(exit)) => break exit,
                 Err(trap) => break ExitReason::Trapped(trap),

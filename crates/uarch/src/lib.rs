@@ -31,9 +31,11 @@ mod func;
 mod mem;
 mod ooo;
 mod sem;
+mod snapshot;
 
 pub use arch::{ArchState, ExitReason, FpEvent, RunResult, Trap};
 pub use func::FuncCore;
-pub use mem::{MemFault, Memory};
+pub use mem::{MemFault, Memory, PAGE_BYTES};
 pub use ooo::{FpTimelineEvent, OooConfig, OooCore, OooStats};
 pub use sem::{write_kind, DestKind};
+pub use snapshot::{CheckpointPool, CheckpointRecorder, InjectedExit, InjectedRun, Snapshot};
