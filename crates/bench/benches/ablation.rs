@@ -72,7 +72,7 @@ fn bench_mask_sampling(c: &mut Criterion) {
         tei_softfloat::FpOpKind::Mul,
         tei_softfloat::Precision::Double,
     );
-    let ia = StatModel::instruction_aware(&bank, &spec, VoltageReduction::VR20, 4000, 9);
+    let ia = StatModel::instruction_aware(&bank, &spec, VoltageReduction::VR20, 4000, 9).unwrap();
     if ia.error_ratio(op) == 0.0 {
         eprintln!("[ablation] skipping mask sampling: no d-mul errors at this calibration");
         return;
@@ -141,7 +141,7 @@ fn bench_injection_mode(c: &mut Criterion) {
 /// End-to-end campaign-cell cost (DA model, small run count).
 fn bench_campaign_cell(c: &mut Criterion) {
     let bench = build(BenchmarkId::Sobel, Scale::Test);
-    let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX);
+    let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX).unwrap();
     let da = DaModel::from_fixed(VoltageReduction::VR20, 1e-2);
     let cfg = campaign::CampaignConfig {
         runs: 20,

@@ -65,7 +65,7 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     // early-convergence cutoff retires most runs shortly after injection.
     let scale = if measured { Scale::Small } else { Scale::Test };
     let bench = build(BenchmarkId::Kmeans, scale);
-    let golden = GoldenRun::capture(&bench, MEM, u64::MAX);
+    let golden = GoldenRun::capture(&bench, MEM, u64::MAX).unwrap();
     let da = DaModel::from_fixed(VoltageReduction::VR20, 1e-2);
     let runs = if measured { 200 } else { 12 };
     let min_secs = if measured { 2.0 } else { 0.0 };
@@ -143,7 +143,11 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         });
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
         let text = serde_json::to_string_pretty(&report).expect("serialize bench report");
-        std::fs::write(path, text + "\n").expect("write BENCH_campaign.json");
+        tei_core::journal::atomic_write_checksummed(
+            std::path::Path::new(path),
+            (text + "\n").as_bytes(),
+        )
+        .expect("write BENCH_campaign.json");
         println!("wrote {path}");
     }
 }

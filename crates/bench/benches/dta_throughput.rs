@@ -148,7 +148,11 @@ fn bench_dta_throughput(c: &mut Criterion) {
         });
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dta.json");
         let text = serde_json::to_string_pretty(&report).expect("serialize bench report");
-        std::fs::write(path, text + "\n").expect("write BENCH_dta.json");
+        tei_core::journal::atomic_write_checksummed(
+            std::path::Path::new(path),
+            (text + "\n").as_bytes(),
+        )
+        .expect("write BENCH_dta.json");
         println!("wrote {path}");
     }
 }

@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
-use tei_core::{campaign::GoldenRun, dev, DaCalibration, DaModel, StatModel};
+use tei_core::{campaign::GoldenRun, dev, DaCalibration, DaModel, StatModel, TeiError};
 use tei_fpu::{FpuBank, FpuTimingSpec};
 use tei_timing::VoltageReduction;
 use tei_workloads::{build, Benchmark, BenchmarkId, Scale};
@@ -68,18 +68,22 @@ impl Artifacts {
     }
 
     /// The golden run of a benchmark (cached).
-    pub fn golden(&self, id: BenchmarkId) -> GoldenRun {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GoldenRun::capture`] failures.
+    pub fn golden(&self, id: BenchmarkId) -> Result<GoldenRun, TeiError> {
         if let Some(g) = self.goldens.lock().expect("goldens lock").get(&id) {
-            return g.clone();
+            return Ok(g.clone());
         }
         eprintln!("[artifacts] golden run of {id} ...");
         let bench = self.bench(id);
-        let g = GoldenRun::capture(&bench, MEM, u64::MAX);
+        let g = GoldenRun::capture(&bench, MEM, u64::MAX)?;
         self.goldens
             .lock()
             .expect("goldens lock")
             .insert(id, g.clone());
-        g
+        Ok(g)
     }
 
     /// The operand trace of a benchmark (cached; capped at the DTA budget).
@@ -98,37 +102,49 @@ impl Artifacts {
     }
 
     /// The instruction-aware model at a corner (cached).
-    pub fn ia(&self, vr: VoltageReduction) -> StatModel {
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-development failures.
+    pub fn ia(&self, vr: VoltageReduction) -> Result<StatModel, TeiError> {
         let key = vr.label();
         if let Some(m) = self.ia.lock().expect("ia lock").get(&key) {
-            return m.clone();
+            return Ok(m.clone());
         }
         eprintln!("[artifacts] IA-model DTA at {key} ...");
         let (bank, spec) = self.bank();
-        let m = StatModel::instruction_aware(bank, spec, vr, self.dta_samples(), 0x1A);
+        let m = StatModel::instruction_aware(bank, spec, vr, self.dta_samples(), 0x1A)?;
         self.ia.lock().expect("ia lock").insert(key, m.clone());
-        m
+        Ok(m)
     }
 
     /// The workload-aware model of a benchmark at a corner (cached).
-    pub fn wa(&self, id: BenchmarkId, vr: VoltageReduction) -> StatModel {
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-development failures.
+    pub fn wa(&self, id: BenchmarkId, vr: VoltageReduction) -> Result<StatModel, TeiError> {
         let key = (id, vr.label());
         if let Some(m) = self.wa.lock().expect("wa lock").get(&key) {
-            return m.clone();
+            return Ok(m.clone());
         }
         eprintln!("[artifacts] WA-model DTA for {id} at {} ...", vr.label());
         let trace = self.trace(id);
         let (bank, spec) = self.bank();
-        let m = StatModel::workload_aware(bank, spec, vr, &trace, self.dta_samples());
+        let m = StatModel::workload_aware(bank, spec, vr, &trace, self.dta_samples())?;
         self.wa.lock().expect("wa lock").insert(key, m.clone());
-        m
+        Ok(m)
     }
 
     /// The DA calibration over the pooled benchmark mix (cached):
     /// the paper's Section IV.C.1 Monte-Carlo DTA.
-    pub fn da_calibration(&self) -> DaCalibration {
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures.
+    pub fn da_calibration(&self) -> Result<DaCalibration, TeiError> {
         if let Some(c) = self.da_cal.lock().expect("da lock").as_ref() {
-            return c.clone();
+            return Ok(c.clone());
         }
         eprintln!("[artifacts] DA-model calibration over the benchmark mix ...");
         let mut pooled = dev::TraceSet::default();
@@ -140,13 +156,17 @@ impl Artifacts {
             pooled.merge(&t);
         }
         let (bank, spec) = self.bank();
-        let cal = dev::calibrate_da(bank, spec, &pooled, &LEVELS, self.dta_samples());
+        let cal = dev::calibrate_da(bank, spec, &pooled, &LEVELS, self.dta_samples())?;
         *self.da_cal.lock().expect("da lock") = Some(cal.clone());
-        cal
+        Ok(cal)
     }
 
     /// The DA model at a corner, built from the pooled calibration.
-    pub fn da(&self, vr: VoltageReduction) -> DaModel {
-        DaModel::from_calibration(&self.da_calibration(), vr)
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration failures and unknown-corner lookups.
+    pub fn da(&self, vr: VoltageReduction) -> Result<DaModel, TeiError> {
+        DaModel::from_calibration(&self.da_calibration()?, vr)
     }
 }

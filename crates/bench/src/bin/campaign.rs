@@ -1,0 +1,173 @@
+//! Durable single-cell injection campaign: every completed run is
+//! journaled before it counts, so a killed sweep resumes from where it
+//! stopped instead of restarting (see DESIGN.md, "Durable execution").
+//!
+//! ```text
+//! # 1068-run sweep; ctrl-C (or SIGKILL) and re-run to resume
+//! cargo run --release -p tei-bench --bin campaign -- \
+//!     --benchmark sobel --vr vr20 --runs 1068 --out results/sobel-da.json
+//! ```
+//!
+//! The model is the calibration-free fixed-ratio DA model
+//! (`--model fixed:<er>`), which needs no gate-level DTA — the binary
+//! starts injecting immediately, which is what a kill-and-resume smoke
+//! test wants. The journal lands in `TEI_JOURNAL_DIR` (default
+//! `journal/`) unless `--journal-dir` overrides it.
+
+use std::path::PathBuf;
+use tei_core::journal::atomic_write_checksummed;
+use tei_core::{campaign, DaModel, TeiError};
+use tei_timing::VoltageReduction;
+use tei_workloads::{build, BenchmarkId, Scale};
+
+const USAGE: &str = "usage: campaign --benchmark <name> [options]
+options:
+  --benchmark <name>     benchmark to sweep (required; e.g. is, sobel, k-means)
+  --model fixed[:<er>]   fixed-ratio DA model, default fixed:1e-2
+  --vr vr15|vr20         voltage-reduction corner (default vr20)
+  --runs <n>             injection runs (default TEI_RUNS or 1068)
+  --seed <n>             base RNG seed (default 1)
+  --threads <n>          worker threads (default TEI_THREADS or cores)
+  --scale test|small|full  benchmark problem size (default test)
+  --throttle-ms <n>      per-run sleep, for external kill tests (default 0)
+  --journal-dir <dir>    journal directory (default TEI_JOURNAL_DIR or journal/)
+  --out <file>           result JSON (default results/campaign-<bench>.json)";
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(e) if e.is_interrupted() => {
+            eprintln!("campaign: {e}");
+            eprintln!("campaign: journal retained; re-run the same command to resume");
+            std::process::exit(130);
+        }
+        Err(e) => {
+            eprintln!("campaign: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_or_exit<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("campaign: bad value {value:?} for {flag}\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+fn run() -> Result<(), TeiError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!("{USAGE}");
+        std::process::exit(0);
+    }
+    let mut benchmark: Option<String> = None;
+    let mut model = String::from("fixed:1e-2");
+    let mut vr = VoltageReduction::VR20;
+    let mut cfg = campaign::CampaignConfig {
+        seed: 1,
+        ..Default::default()
+    };
+    let mut scale = Scale::Test;
+    let mut journal_dir = tei_core::config::default_journal_dir();
+    let mut out: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("campaign: {flag} needs a value\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--benchmark" => benchmark = Some(val()),
+            "--model" => model = val(),
+            "--vr" => {
+                vr = match val().to_ascii_lowercase().as_str() {
+                    "vr15" => VoltageReduction::VR15,
+                    "vr20" => VoltageReduction::VR20,
+                    other => {
+                        eprintln!("campaign: unknown VR level {other:?}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--runs" => cfg.runs = parse_or_exit(flag, &val()),
+            "--seed" => cfg.seed = parse_or_exit(flag, &val()),
+            "--threads" => cfg.threads = parse_or_exit(flag, &val()),
+            "--scale" => {
+                scale = match val().to_ascii_lowercase().as_str() {
+                    "test" => Scale::Test,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => {
+                        eprintln!("campaign: unknown scale {other:?}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--throttle-ms" => cfg.chaos.throttle_ms = parse_or_exit(flag, &val()),
+            "--journal-dir" => journal_dir = PathBuf::from(val()),
+            "--out" => out = Some(PathBuf::from(val())),
+            other => {
+                eprintln!("campaign: unknown flag {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(name) = benchmark else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let Some(id) = BenchmarkId::all().into_iter().find(|b| b.name() == name) else {
+        let known: Vec<&str> = BenchmarkId::all().iter().map(|b| b.name()).collect();
+        eprintln!("campaign: unknown benchmark {name:?} (known: {known:?})");
+        std::process::exit(2);
+    };
+    let Some(er) = model
+        .strip_prefix("fixed")
+        .map(|r| r.strip_prefix(':').unwrap_or("1e-2"))
+        .and_then(|r| r.parse::<f64>().ok())
+    else {
+        eprintln!("campaign: unknown model {model:?} (supported: fixed[:<er>])\n{USAGE}");
+        std::process::exit(2);
+    };
+
+    let bench = build(id, scale);
+    eprintln!("[campaign] golden run of {} ...", id.name());
+    let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX)?;
+    let da = DaModel::from_fixed(vr, er);
+    eprintln!(
+        "[campaign] {} × fixed:{er:.1e} × {} ({} runs, {} threads, journal {}) ...",
+        id.name(),
+        vr.label(),
+        cfg.runs,
+        cfg.threads,
+        journal_dir.display()
+    );
+    let result = campaign::run_campaign_durable(id.name(), &golden, &da, &cfg, &journal_dir)?;
+
+    let f = result.fractions();
+    println!(
+        "{}: Masked {:.1}% SDC {:.1}% Crash {:.1}% Timeout {:.1}%  AVM {:.3} ({} quarantined)",
+        id.name(),
+        100.0 * f[0],
+        100.0 * f[1],
+        100.0 * f[2],
+        100.0 * f[3],
+        result.avm(),
+        result.counts.quarantined,
+    );
+    let out = out.unwrap_or_else(|| PathBuf::from(format!("results/campaign-{}.json", id.name())));
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| TeiError::io("create output directory", dir, e))?;
+        }
+    }
+    let body = serde_json::to_string_pretty(&result).unwrap_or_default();
+    atomic_write_checksummed(&out, (body + "\n").as_bytes())?;
+    eprintln!("wrote {}", out.display());
+    Ok(())
+}

@@ -15,6 +15,13 @@ use tei_workloads::Scale;
 const USAGE: &str = "usage: figures [fig4|fig5|fig6|fig7|fig8|fig9|fig10|table2|avm|mitigation|da-calibration|all]...";
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("figures: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), tei_core::TeiError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
         eprintln!("{USAGE}");
@@ -50,7 +57,7 @@ fn main() {
         .iter()
         .any(|w| matches!(*w, "fig9" | "fig10" | "avm" | "mitigation"));
     let campaign_results = if needs_campaigns {
-        figures::campaigns(&arts)
+        figures::campaigns(&arts)?
     } else {
         Vec::new()
     };
@@ -59,16 +66,16 @@ fn main() {
     for w in &wanted {
         let report: Report = match *w {
             "fig4" => figures::fig4(&arts),
-            "fig5" => figures::fig5(&arts),
-            "fig6" => figures::fig6(&arts),
-            "fig7" => figures::fig7(&arts),
-            "fig8" => figures::fig8(&arts),
+            "fig5" => figures::fig5(&arts)?,
+            "fig6" => figures::fig6(&arts)?,
+            "fig7" => figures::fig7(&arts)?,
+            "fig8" => figures::fig8(&arts)?,
             "fig9" => figures::fig9(&campaign_results),
             "fig10" => figures::fig10(&campaign_results),
-            "table2" => figures::table2(&arts),
+            "table2" => figures::table2(&arts)?,
             "avm" => figures::avm_analysis(&campaign_results),
-            "mitigation" => figures::mitigation(&arts, &campaign_results),
-            "da-calibration" => figures::da_calibration(&arts),
+            "mitigation" => figures::mitigation(&arts, &campaign_results)?,
+            "da-calibration" => figures::da_calibration(&arts)?,
             other => {
                 eprintln!("unknown artifact {other:?}\n{USAGE}");
                 std::process::exit(2);
@@ -76,13 +83,12 @@ fn main() {
         };
         println!("==== {} ====", report.id);
         println!("{}", report.text);
-        if let Err(e) = report.save(out_dir) {
-            eprintln!("warning: could not write results JSON: {e}");
-        }
+        report.save(out_dir)?;
         emitted += 1;
     }
     eprintln!(
         "regenerated {emitted} artifact(s) into {}",
         out_dir.display()
     );
+    Ok(())
 }

@@ -11,7 +11,8 @@
 //! ```
 
 use tei_bench::Artifacts;
-use tei_core::{InjectionModel, StatModel};
+use tei_core::journal::atomic_write_checksummed;
+use tei_core::{InjectionModel, StatModel, TeiError};
 use tei_softfloat::FpOp;
 use tei_timing::VoltageReduction;
 use tei_workloads::{BenchmarkId, Scale};
@@ -23,7 +24,10 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("develop") => {
             let dir = std::path::PathBuf::from(args.get(1).map_or("models", String::as_str));
-            develop(&dir);
+            if let Err(e) = develop(&dir) {
+                eprintln!("models: {e}");
+                std::process::exit(1);
+            }
         }
         Some("show") => {
             let Some(path) = args.get(1) else {
@@ -39,34 +43,33 @@ fn main() {
     }
 }
 
-fn develop(dir: &std::path::Path) {
-    std::fs::create_dir_all(dir).expect("create output directory");
+fn develop(dir: &std::path::Path) -> Result<(), TeiError> {
+    std::fs::create_dir_all(dir).map_err(|e| TeiError::io("create output directory", dir, e))?;
     let arts = Artifacts::new(Scale::Small);
     let mut written = 0usize;
     for vr in [VoltageReduction::VR15, VoltageReduction::VR20] {
-        let da = arts.da(vr);
-        save(dir, &format!("da-{}", vr.label()), &da);
+        let da = arts.da(vr)?;
+        save(dir, &format!("da-{}", vr.label()), &da)?;
         written += 1;
-        let ia = arts.ia(vr);
-        save(dir, &format!("ia-{}", vr.label()), &ia);
+        let ia = arts.ia(vr)?;
+        save(dir, &format!("ia-{}", vr.label()), &ia)?;
         written += 1;
         for id in BenchmarkId::all() {
-            let wa = arts.wa(id, vr);
-            save(dir, &format!("wa-{}-{}", id.name(), vr.label()), &wa);
+            let wa = arts.wa(id, vr)?;
+            save(dir, &format!("wa-{}-{}", id.name(), vr.label()), &wa)?;
             written += 1;
         }
     }
     eprintln!("wrote {written} models into {}", dir.display());
+    Ok(())
 }
 
-fn save<M: serde::Serialize>(dir: &std::path::Path, name: &str, model: &M) {
+fn save<M: serde::Serialize>(dir: &std::path::Path, name: &str, model: &M) -> Result<(), TeiError> {
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(model).expect("serializable model"),
-    )
-    .expect("write model file");
+    let body = serde_json::to_string_pretty(model).unwrap_or_default();
+    atomic_write_checksummed(&path, body.as_bytes())?;
     eprintln!("  {}", path.display());
+    Ok(())
 }
 
 fn show(path: &std::path::Path) {

@@ -3,7 +3,8 @@
 use crate::artifacts::{Artifacts, LEVELS, MEM};
 use serde_json::{json, Value};
 use std::fmt::Write as _;
-use tei_core::{campaign, dev, power, stats, InjectionModel, ModelKind, StatModel};
+use tei_core::journal::atomic_write_checksummed;
+use tei_core::{campaign, dev, power, stats, InjectionModel, ModelKind, StatModel, TeiError};
 use tei_softfloat::{FpOp, Precision};
 use tei_timing::{PathCensus, VoltageReduction};
 use tei_workloads::BenchmarkId;
@@ -21,17 +22,20 @@ pub struct Report {
 }
 
 impl Report {
-    /// Write the JSON next to the workspace `results/` directory.
+    /// Write the JSON next to the workspace `results/` directory —
+    /// atomically (tmp + rename) and with a `.fnv` checksum sidecar, so a
+    /// crash mid-write can never leave a torn artifact.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
-    pub fn save(&self, dir: &std::path::Path) -> std::io::Result<()> {
-        std::fs::create_dir_all(dir)?;
-        std::fs::write(
-            dir.join(format!("{}.json", self.id)),
-            serde_json::to_string_pretty(&self.json).expect("serializable"),
-        )
+    /// Propagates filesystem errors as [`TeiError::Io`].
+    pub fn save(&self, dir: &std::path::Path) -> Result<(), TeiError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| TeiError::io("create results directory", dir, e))?;
+        let path = dir.join(format!("{}.json", self.id));
+        let body = serde_json::to_string_pretty(&self.json).unwrap_or_default();
+        atomic_write_checksummed(&path, body.as_bytes())?;
+        Ok(())
     }
 }
 
@@ -119,7 +123,7 @@ pub fn fig4(arts: &Artifacts) -> Report {
 
 /// Figure 5: distribution of the number of bit flips at faulty instruction
 /// outputs under VR15 and VR20 (benchmark-mix operands).
-pub fn fig5(arts: &Artifacts) -> Report {
+pub fn fig5(arts: &Artifacts) -> Result<Report, TeiError> {
     let (bank, spec) = arts.bank();
     let mut rows = Vec::new();
     let mut text = String::from("VR     1-bit   2-bit   3-bit   4+bit   multi-bit%\n");
@@ -135,7 +139,10 @@ pub fn fig5(arts: &Artifacts) -> Report {
                 }
                 let s = dev::dta_campaign(bank.unit(op), t, spec.clk, &[vr])
                     .pop()
-                    .expect("stats");
+                    .ok_or_else(|| TeiError::EmptyDta {
+                        op: op.to_string(),
+                        vr: vr.label(),
+                    })?;
                 for (&k, &v) in &s.flip_hist {
                     let slot = k.min(4) - 1;
                     hist[slot] += v;
@@ -167,11 +174,11 @@ pub fn fig5(arts: &Artifacts) -> Report {
         "average multi-bit share across VR levels: {:.1}% (paper: 64.5%)",
         multi_sum / LEVELS.len() as f64
     );
-    Report {
+    Ok(Report {
         id: "fig5",
         json: json!({ "rows": rows, "avg_multi_bit_pct": multi_sum / LEVELS.len() as f64 }),
         text,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -180,7 +187,7 @@ pub fn fig5(arts: &Artifacts) -> Report {
 
 /// Figure 6: fp-mul BER of the `is` program at VR20 for increasing DTA
 /// sample counts, with the average absolute error against the full trace.
-pub fn fig6(arts: &Artifacts) -> Report {
+pub fn fig6(arts: &Artifacts) -> Result<Report, TeiError> {
     let (bank, spec) = arts.bank();
     let bench = arts.bench(BenchmarkId::Is);
     eprintln!("[fig6] capturing the full is fp-mul trace ...");
@@ -194,7 +201,10 @@ pub fn fig6(arts: &Artifacts) -> Report {
     let vr = VoltageReduction::VR20;
     let reference = dev::dta_campaign(unit, full, spec.clk, &[vr])
         .pop()
-        .expect("stats")
+        .ok_or_else(|| TeiError::EmptyDta {
+            op: op.to_string(),
+            vr: vr.label(),
+        })?
         .ber();
     let mut text = format!(
         "is fp-mul (d) at VR20; full trace = {} instructions\n  K        AE\n",
@@ -216,7 +226,10 @@ pub fn fig6(arts: &Artifacts) -> Report {
         let k = ((full.len() - 1) / frac).max(1);
         let ber = dev::dta_campaign_sampled(unit, full, &order[..k], spec.clk, &[vr])
             .pop()
-            .expect("stats")
+            .ok_or_else(|| TeiError::EmptyDta {
+                op: op.to_string(),
+                vr: vr.label(),
+            })?
             .ber();
         let ae = dev::average_absolute_error(&reference, &ber);
         let _ = writeln!(text, "{k:9} {ae:9.4}");
@@ -238,11 +251,11 @@ pub fn fig6(arts: &Artifacts) -> Report {
         region(&reference, "E"),
         region(&reference, "M")
     );
-    Report {
+    Ok(Report {
         id: "fig6",
         json: json!({ "rows": rows, "full_ber": reference, "full_len": full.len() }),
         text,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -274,11 +287,11 @@ fn ber_summary(model: &StatModel, op: FpOp) -> (f64, f64, f64, f64) {
 /// Figure 7: the IA model's per-bit error-injection probabilities per
 /// instruction type and VR level (region means printed; full arrays in
 /// JSON).
-pub fn fig7(arts: &Artifacts) -> Report {
+pub fn fig7(arts: &Artifacts) -> Result<Report, TeiError> {
     let mut text = String::from("op             VR     ER        S-mean    E-mean    M-mean\n");
     let mut rows = Vec::new();
     for vr in LEVELS {
-        let ia = arts.ia(vr);
+        let ia = arts.ia(vr)?;
         for op in FpOp::all() {
             let (er, s, e, m) = ber_summary(&ia, op);
             let _ = writeln!(
@@ -293,22 +306,22 @@ pub fn fig7(arts: &Artifacts) -> Report {
             }));
         }
     }
-    Report {
+    Ok(Report {
         id: "fig7",
         json: json!({ "rows": rows }),
         text,
-    }
+    })
 }
 
 /// Figure 8: the WA model's per-bit EI probabilities per benchmark and VR
 /// level, aggregated over the double-precision instruction mix.
-pub fn fig8(arts: &Artifacts) -> Report {
+pub fn fig8(arts: &Artifacts) -> Result<Report, TeiError> {
     let mut text = String::from("bench     VR     ER        S-mean    E-mean    M-mean\n");
     let mut rows = Vec::new();
     for id in BenchmarkId::all() {
-        let golden = arts.golden(id);
+        let golden = arts.golden(id)?;
         for vr in LEVELS {
-            let wa = arts.wa(id, vr);
+            let wa = arts.wa(id, vr)?;
             // Frequency-weighted per-bit aggregate over double-precision ops.
             let mut agg = vec![0f64; 64];
             let mut weight = 0f64;
@@ -356,11 +369,11 @@ pub fn fig8(arts: &Artifacts) -> Report {
         text,
         "(mantissa bits dominate the error probability, as in the paper)"
     );
-    Report {
+    Ok(Report {
         id: "fig8",
         json: json!({ "rows": rows }),
         text,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -368,11 +381,15 @@ pub fn fig8(arts: &Artifacts) -> Report {
 // ---------------------------------------------------------------------
 
 /// The full campaign sweep backing Figures 9 and 10 and the AVM analysis.
-pub fn campaigns(arts: &Artifacts) -> Vec<campaign::CampaignResult> {
+///
+/// # Errors
+///
+/// Propagates model-development and campaign failures.
+pub fn campaigns(arts: &Artifacts) -> Result<Vec<campaign::CampaignResult>, TeiError> {
     let cfg = campaign::CampaignConfig::default();
     let mut out = Vec::new();
     for id in BenchmarkId::all() {
-        let golden = arts.golden(id);
+        let golden = arts.golden(id)?;
         for vr in LEVELS {
             for kind in ModelKind::all() {
                 eprintln!(
@@ -383,17 +400,21 @@ pub fn campaigns(arts: &Artifacts) -> Vec<campaign::CampaignResult> {
                     cfg.runs
                 );
                 let r = match kind {
-                    ModelKind::Da => campaign::run_campaign(id.name(), &golden, &arts.da(vr), &cfg),
-                    ModelKind::Ia => campaign::run_campaign(id.name(), &golden, &arts.ia(vr), &cfg),
+                    ModelKind::Da => {
+                        campaign::run_campaign_checked(id.name(), &golden, &arts.da(vr)?, &cfg)?
+                    }
+                    ModelKind::Ia => {
+                        campaign::run_campaign_checked(id.name(), &golden, &arts.ia(vr)?, &cfg)?
+                    }
                     ModelKind::Wa => {
-                        campaign::run_campaign(id.name(), &golden, &arts.wa(id, vr), &cfg)
+                        campaign::run_campaign_checked(id.name(), &golden, &arts.wa(id, vr)?, &cfg)?
                     }
                 };
                 out.push(r);
             }
         }
     }
-    out
+    Ok(out)
 }
 
 /// Figure 9: injection outcome distributions per benchmark × model × VR.
@@ -516,13 +537,13 @@ pub fn fig10(results: &[campaign::CampaignResult]) -> Report {
 // ---------------------------------------------------------------------
 
 /// Table II: benchmark, input, dynamic instruction count, classification.
-pub fn table2(arts: &Artifacts) -> Report {
+pub fn table2(arts: &Artifacts) -> Result<Report, TeiError> {
     let mut text =
         String::from("app       input                          instructions  classification\n");
     let mut rows = Vec::new();
     for id in BenchmarkId::all() {
         let bench = arts.bench(id);
-        let golden = arts.golden(id);
+        let golden = arts.golden(id)?;
         let _ = writeln!(
             text,
             "{:9} {:30} {:12}  {}",
@@ -538,11 +559,11 @@ pub fn table2(arts: &Artifacts) -> Report {
             "classification": bench.classification,
         }));
     }
-    Report {
+    Ok(Report {
         id: "table2",
         json: json!({ "rows": rows }),
         text,
-    }
+    })
 }
 
 /// Section V.C: AVM-guided operating points and power savings per model.
@@ -589,12 +610,15 @@ pub fn avm_analysis(results: &[campaign::CampaignResult]) -> Report {
 }
 
 /// Section V.C mitigation: clock-stretch prevention guided by the WA model.
-pub fn mitigation(arts: &Artifacts, results: &[campaign::CampaignResult]) -> Report {
+pub fn mitigation(
+    arts: &Artifacts,
+    results: &[campaign::CampaignResult],
+) -> Result<Report, TeiError> {
     let mut text =
         String::from("bench     unprotected-VR  savings  protected@VR20 prone%  energy-savings\n");
     let mut rows = Vec::new();
     for bench in BenchmarkId::all() {
-        let golden = arts.golden(bench);
+        let golden = arts.golden(bench)?;
         let wa_avm = |vr: VoltageReduction| {
             results
                 .iter()
@@ -611,7 +635,7 @@ pub fn mitigation(arts: &Artifacts, results: &[campaign::CampaignResult]) -> Rep
         let base_savings = power::power_savings(unprotected);
         // Prevention: run at VR20, stretching the clock for each dynamic
         // instruction of an error-prone type (WA-model ER > 0 at VR20).
-        let wa20 = arts.wa(bench, VoltageReduction::VR20);
+        let wa20 = arts.wa(bench, VoltageReduction::VR20)?;
         let mut prone_instr = 0u64;
         for op in FpOp::all() {
             if wa20.error_ratio(op) > 0.0 {
@@ -645,30 +669,30 @@ pub fn mitigation(arts: &Artifacts, results: &[campaign::CampaignResult]) -> Rep
         text,
         "(paper: AVM-guided prevention yields up to ~20% extra energy savings)"
     );
-    Report {
+    Ok(Report {
         id: "mitigation",
         json: json!({ "rows": rows }),
         text,
-    }
+    })
 }
 
 /// Section IV.C.1: the DA model's calibrated fixed error ratios.
-pub fn da_calibration(arts: &Artifacts) -> Report {
-    let cal = arts.da_calibration();
+pub fn da_calibration(arts: &Artifacts) -> Result<Report, TeiError> {
+    let cal = arts.da_calibration()?;
     let mut text = String::from("VR     fixed-ER   (paper: VR15 1e-3, VR20 1e-2)\n");
     let mut rows = Vec::new();
     for (vr, er) in &cal.er {
         let _ = writeln!(text, "{:5} {er:10.2e}", vr.label());
         rows.push(json!({ "vr": vr.label(), "er": er }));
     }
+    let n = stats::sample_size(0.03, 0.95)?;
     let _ = writeln!(
         text,
-        "statistical sample size at 3%/95%: {} runs (paper: 1068)",
-        stats::sample_size(0.03, 0.95)
+        "statistical sample size at 3%/95%: {n} runs (paper: 1068)"
     );
-    Report {
+    Ok(Report {
         id: "da-calibration",
-        json: json!({ "rows": rows, "sample_size": stats::sample_size(0.03, 0.95) }),
+        json: json!({ "rows": rows, "sample_size": n }),
         text,
-    }
+    })
 }

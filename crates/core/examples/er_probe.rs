@@ -1,19 +1,19 @@
 //! Probe: WA-model error ratios per benchmark × VR (feeds Fig 10 shape).
-use tei_core::{campaign, dev, models::StatModel, InjectionModel};
+use tei_core::{campaign, dev, models::StatModel, InjectionModel, TeiError};
 use tei_softfloat::FpOp;
 use tei_timing::VoltageReduction;
 use tei_workloads::{build, BenchmarkId, Scale};
 
-fn main() {
+fn main() -> Result<(), TeiError> {
     let (bank, spec) = dev::default_bank();
     let cap = 20_000;
     for id in BenchmarkId::all() {
         let bench = build(id, Scale::Small);
         let trace = dev::TraceSet::capture(&bench.program, 8 << 20, u64::MAX, cap);
-        let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX);
+        let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX)?;
         let mut line = format!("{:8}", id.name());
         for vr in [VoltageReduction::VR15, VoltageReduction::VR20] {
-            let wa = StatModel::workload_aware(&bank, &spec, vr, &trace, cap);
+            let wa = StatModel::workload_aware(&bank, &spec, vr, &trace, cap)?;
             let er = campaign::model_error_ratio(&wa, &golden);
             line += &format!("  {}: ER {:.2e}", vr.label(), er);
             let mut top = (String::new(), 0.0);
@@ -29,4 +29,5 @@ fn main() {
         }
         println!("{line}");
     }
+    Ok(())
 }

@@ -10,12 +10,30 @@
 //! architectural events are corrupted in a fast functional replay whose
 //! outcome is classified as Masked / SDC / Crash / Timeout against the
 //! golden output (Section IV.A), with the paper's 2× timeout criterion.
+//!
+//! ## Fault tolerance and durability
+//!
+//! A paper-scale sweep is 1068 runs per cell across dozens of cells; the
+//! runner is built to survive the chaos fault injection creates (the ZOFI
+//! principle). Each injection run executes behind a panic isolation
+//! boundary: a run that panics is retried once with the same draw, and a
+//! second panic **quarantines** the run (recording its `(seed, target,
+//! mask)` repro triple) instead of tearing down the worker pool.
+//! [`run_campaign_durable`] additionally write-ahead-logs every completed
+//! run to a [`Journal`](crate::journal::Journal), drains workers on
+//! SIGINT/SIGTERM, and resumes interrupted sweeps with final
+//! [`OutcomeCounts`] byte-identical to an uninterrupted campaign.
 
+use crate::error::TeiError;
+use crate::journal::{fnv64, CampaignManifest, Journal, JournalResume, RecordedOutcome, RunRecord};
 use crate::models::InjectionModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use tei_softfloat::FpOp;
 use tei_timing::VoltageReduction;
@@ -87,11 +105,11 @@ impl GoldenRun {
     /// Execute the golden detailed + functional runs with the default
     /// checkpoint interval (`TEI_CHECKPOINT_INTERVAL`, auto when unset).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the error-free benchmark does not complete successfully or
-    /// the two cores disagree (which the co-simulation tests rule out).
-    pub fn capture(bench: &Benchmark, mem_bytes: usize, max_cycles: u64) -> Self {
+    /// [`TeiError::GoldenRun`] if the error-free benchmark does not
+    /// complete successfully or the two cores disagree.
+    pub fn capture(bench: &Benchmark, mem_bytes: usize, max_cycles: u64) -> Result<Self, TeiError> {
         Self::capture_with_checkpoints(
             bench,
             mem_bytes,
@@ -104,7 +122,7 @@ impl GoldenRun {
     /// dynamic FP operations (0 selects the auto policy). The spacing only
     /// affects replay speed, never campaign outcomes.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// See [`GoldenRun::capture`].
     pub fn capture_with_checkpoints(
@@ -112,17 +130,19 @@ impl GoldenRun {
         mem_bytes: usize,
         max_cycles: u64,
         checkpoint_interval: u64,
-    ) -> Self {
+    ) -> Result<Self, TeiError> {
+        let fail = |detail: String| TeiError::GoldenRun {
+            benchmark: bench.id.to_string(),
+            detail,
+        };
         let mut ooo = OooCore::with_memory(&bench.program, OooConfig::default(), mem_bytes);
         let od = ooo.run(max_cycles);
-        assert!(
-            od.exit.is_success(),
-            "golden detailed run of {} failed: {:?}",
-            bench.id,
-            od.exit
-        );
+        if !od.exit.is_success() {
+            return Err(fail(format!("detailed run exited with {:?}", od.exit)));
+        }
         let mut func = FuncCore::with_memory(&bench.program, mem_bytes);
-        let mut recorder = CheckpointRecorder::new(&func, checkpoint_interval);
+        let mut recorder = CheckpointRecorder::try_new(&func, checkpoint_interval)
+            .map_err(|e| fail(e.to_string()))?;
         let mut op_of: Vec<FpOp> = Vec::new();
         // Manual run loop so checkpoints are captured at instruction
         // boundaries whenever the FP-op counter crosses the next mark.
@@ -137,11 +157,12 @@ impl GoldenRun {
                 Err(trap) => break ExitReason::Trapped(trap),
             }
         };
-        assert!(
-            matches!(exit, ExitReason::Halted | ExitReason::Exited(0)),
-            "golden functional run failed: {exit:?}"
-        );
-        assert_eq!(func.output, ooo.output, "core disagreement in golden run");
+        if !matches!(exit, ExitReason::Halted | ExitReason::Exited(0)) {
+            return Err(fail(format!("functional run exited with {exit:?}")));
+        }
+        if func.output != ooo.output {
+            return Err(fail("core disagreement in golden run".to_string()));
+        }
         let mut arch_by_op: Vec<Vec<u64>> = vec![Vec::new(); 12];
         for (i, op) in op_of.iter().enumerate() {
             arch_by_op[op.index()].push(i as u64);
@@ -152,7 +173,7 @@ impl GoldenRun {
                 squashed_by_op[ev.op.index()] += 1;
             }
         }
-        GoldenRun {
+        Ok(GoldenRun {
             program: bench.program.clone(),
             mem_bytes,
             instructions: func.instructions(),
@@ -163,7 +184,7 @@ impl GoldenRun {
             squashed_by_op,
             ooo_stats: ooo.stats.clone(),
             checkpoints: recorder.finish(),
-        }
+        })
     }
 }
 
@@ -190,6 +211,30 @@ impl Default for ReplayMode {
     }
 }
 
+/// Test-only chaos hooks, used to exercise the fault-tolerance machinery
+/// deterministically. All fields default to "off"; they are excluded from
+/// serialization and from the campaign manifest, so chaos settings never
+/// change a journal's identity.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Chaos {
+    /// Run indices whose *first* attempt panics (the retry succeeds).
+    pub panic_once: Vec<usize>,
+    /// Run indices that panic on every attempt (always quarantined).
+    pub panic_always: Vec<usize>,
+    /// Per-run sleep in milliseconds — slows a sweep down so external
+    /// kill-and-resume tests reliably interrupt it mid-flight.
+    pub throttle_ms: u64,
+    /// Stop scheduling new runs once this many journal appends happened
+    /// (simulates an interrupt at a deterministic point).
+    pub stop_after_appends: Option<u64>,
+}
+
+impl Chaos {
+    fn should_panic(&self, run: usize, attempt: u32) -> bool {
+        self.panic_always.contains(&run) || (attempt == 0 && self.panic_once.contains(&run))
+    }
+}
+
 /// Campaign sizing and determinism knobs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignConfig {
@@ -204,6 +249,9 @@ pub struct CampaignConfig {
     /// Replay engine. Outcome tallies are byte-identical across modes and
     /// thread counts; only wall-clock differs.
     pub mode: ReplayMode,
+    /// Test-only fault/chaos hooks. Excluded from the campaign manifest,
+    /// so chaos settings never change a journal's identity.
+    pub chaos: Chaos,
 }
 
 impl Default for CampaignConfig {
@@ -214,7 +262,35 @@ impl Default for CampaignConfig {
             timeout_factor: 2.0,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             mode: ReplayMode::default(),
+            chaos: Chaos::default(),
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Sanity-check the sizing knobs before a long sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`TeiError::Config`] naming the offending field.
+    pub fn validate(&self) -> Result<(), TeiError> {
+        let bad = |knob: &str, reason: String| TeiError::Config {
+            knob: knob.to_string(),
+            reason,
+        };
+        if self.runs == 0 {
+            return Err(bad("runs", "must be at least 1".into()));
+        }
+        if self.threads == 0 {
+            return Err(bad("threads", "must be at least 1".into()));
+        }
+        if !(self.timeout_factor.is_finite() && self.timeout_factor > 0.0) {
+            return Err(bad(
+                "timeout_factor",
+                format!("{} is not a positive finite factor", self.timeout_factor),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -241,6 +317,12 @@ pub struct OutcomeCounts {
     /// prefix guarantees they are reached; a non-zero value flags silent
     /// mis-targeting.
     pub mistargeted: u64,
+    /// Runs that panicked on both attempts and were isolated instead of
+    /// classified (their repro triples are in
+    /// [`CampaignResult::quarantined`]). Should stay 0; a non-zero value
+    /// flags a replay-engine bug without invalidating the rest of the
+    /// sweep.
+    pub quarantined: u64,
 }
 
 impl OutcomeCounts {
@@ -261,12 +343,30 @@ impl OutcomeCounts {
         self.masked_wrong_path += other.masked_wrong_path;
         self.masked_no_error += other.masked_no_error;
         self.mistargeted += other.mistargeted;
+        self.quarantined += other.quarantined;
     }
 
-    /// Total runs tallied.
+    /// Total runs tallied (classified + quarantined).
     pub fn total(&self) -> u64 {
-        self.masked + self.sdc + self.crash + self.timeout
+        self.masked + self.sdc + self.crash + self.timeout + self.quarantined
     }
+}
+
+/// Repro handle of a run that panicked on both attempts: everything
+/// needed to replay it offline (`seed` re-derives the draw; `target` and
+/// `mask` are the draw it made, when the panic happened after drawing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantinedRun {
+    /// Run index within the campaign.
+    pub run: u64,
+    /// The run's derived RNG seed.
+    pub seed: u64,
+    /// Drawn target FP index (None when the draw itself was unreachable).
+    pub target: Option<u64>,
+    /// Drawn XOR corruption mask.
+    pub mask: u64,
+    /// Panic payload of the failing attempt (best effort).
+    pub message: String,
 }
 
 /// Result of one campaign cell (benchmark × model × VR).
@@ -284,12 +384,16 @@ pub struct CampaignResult {
     /// dynamic FP instructions the model deems faulty (paper eq. 2 /
     /// Figure 10).
     pub error_ratio: f64,
+    /// Quarantined runs with their repro triples, sorted by run index.
+    pub quarantined: Vec<QuarantinedRun>,
 }
 
 impl CampaignResult {
-    /// Application Vulnerability Metric (paper eq. 4).
+    /// Application Vulnerability Metric (paper eq. 4), over classified
+    /// runs (quarantined runs carry no outcome and are excluded from both
+    /// numerator and denominator).
     pub fn avm(&self) -> f64 {
-        let t = self.counts.total();
+        let t = self.counts.total() - self.counts.quarantined;
         if t == 0 {
             0.0
         } else {
@@ -299,7 +403,7 @@ impl CampaignResult {
 
     /// Outcome fractions in `[Masked, SDC, Crash, Timeout]` order.
     pub fn fractions(&self) -> [f64; 4] {
-        let t = self.counts.total().max(1) as f64;
+        let t = (self.counts.total() - self.counts.quarantined).max(1) as f64;
         [
             self.counts.masked as f64 / t,
             self.counts.sdc as f64 / t,
@@ -350,12 +454,43 @@ impl CellPlan {
 /// records whether the target event fired.
 type MemoCache = Mutex<HashMap<(u64, u64), (Outcome, bool)>>;
 
+/// Lock a memo-cache mutex, tolerating poisoning: entries are inserted
+/// atomically, so a panic in another worker never leaves a torn map.
+fn lock_cache(
+    cache: &MemoCache,
+) -> std::sync::MutexGuard<'_, HashMap<(u64, u64), (Outcome, bool)>> {
+    match cache.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// What a run's seeded RNG draw selected, before any replay happens.
+/// Pure and panic-free, so quarantine reporting can re-derive the repro
+/// triple of a run that panicked mid-replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Draw {
+    /// The model predicts no errors anywhere in this execution.
+    NoError,
+    /// The draw landed on a squashed (wrong-path) writeback.
+    WrongPath,
+    /// Corrupt FP event `target` with XOR `mask`.
+    Inject {
+        /// Target dynamic FP index.
+        target: u64,
+        /// XOR corruption mask.
+        mask: u64,
+    },
+}
+
 /// Tally of one injection run.
 struct RunTally {
     outcome: Outcome,
     wrong_path: bool,
     no_error: bool,
     mistargeted: bool,
+    target: Option<u64>,
+    mask: u64,
 }
 
 /// Per-worker replay context: the reusable fork core (checkpointed mode)
@@ -395,18 +530,22 @@ impl<'a, M: InjectionModel + ?Sized> Runner<'a, M> {
         }
     }
 
-    /// Run one injection experiment.
-    fn one_run(&mut self, seed: u64) -> RunTally {
+    /// Rebuild the fork core after a panic may have left it mid-replay.
+    fn reset_fork(&mut self) {
+        if self.fork.is_some() {
+            self.fork = Some(FuncCore::with_memory(
+                &self.golden.program,
+                self.golden.mem_bytes,
+            ));
+        }
+    }
+
+    /// Re-derive the run's draw from its seed without replaying anything.
+    fn draw(&self, seed: u64) -> Draw {
         let golden = self.golden;
         let mut rng = StdRng::seed_from_u64(seed);
         if self.plan.total <= 0.0 {
-            // The model predicts no errors anywhere in this execution.
-            return RunTally {
-                outcome: Outcome::Masked,
-                wrong_path: false,
-                no_error: true,
-                mistargeted: false,
-            };
+            return Draw::NoError;
         }
         // Draw the target operation type.
         let mut draw = rng.gen_range(0.0..self.plan.total);
@@ -423,31 +562,47 @@ impl<'a, M: InjectionModel + ?Sized> Runner<'a, M> {
         let squashed = golden.squashed_by_op[op_idx];
         // Wrong-path hit → microarchitectural masking.
         if rng.gen_range(0..arch_count + squashed) >= arch_count {
-            return RunTally {
-                outcome: Outcome::Masked,
-                wrong_path: true,
-                no_error: false,
-                mistargeted: false,
-            };
+            return Draw::WrongPath;
         }
         let target = golden.arch_by_op[op_idx][rng.gen_range(0..arch_count as usize)];
         let mask = self.model.sample_mask(op, &mut rng);
         debug_assert_ne!(mask, 0, "models must produce non-empty masks");
+        Draw::Inject { target, mask }
+    }
+
+    /// Run one injection experiment.
+    fn one_run(&mut self, seed: u64) -> RunTally {
+        let (target, mask) = match self.draw(seed) {
+            Draw::NoError => {
+                return RunTally {
+                    outcome: Outcome::Masked,
+                    wrong_path: false,
+                    no_error: true,
+                    mistargeted: false,
+                    target: None,
+                    mask: 0,
+                }
+            }
+            Draw::WrongPath => {
+                return RunTally {
+                    outcome: Outcome::Masked,
+                    wrong_path: true,
+                    no_error: false,
+                    mistargeted: false,
+                    target: None,
+                    mask: 0,
+                }
+            }
+            Draw::Inject { target, mask } => (target, mask),
+        };
 
         let (outcome, fired) = if let Some(cache) = self.cache {
-            let hit = cache
-                .lock()
-                .expect("memo cache")
-                .get(&(target, mask))
-                .copied();
+            let hit = lock_cache(cache).get(&(target, mask)).copied();
             match hit {
                 Some(memoized) => memoized,
                 None => {
                     let fresh = self.replay(target, mask);
-                    cache
-                        .lock()
-                        .expect("memo cache")
-                        .insert((target, mask), fresh);
+                    lock_cache(cache).insert((target, mask), fresh);
                     fresh
                 }
             }
@@ -460,6 +615,8 @@ impl<'a, M: InjectionModel + ?Sized> Runner<'a, M> {
             wrong_path: false,
             no_error: false,
             mistargeted: !fired,
+            target: Some(target),
+            mask,
         }
     }
 
@@ -531,29 +688,103 @@ fn classify(exit: ExitReason, output: &[u8], golden_output: &[u8]) -> Outcome {
 /// Stable 64-bit FNV-1a over the model name — salts the per-cell seed so
 /// DA/IA/WA cells at the same VR draw decorrelated outcome streams.
 fn model_salt(name: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    fnv64(name.as_bytes())
 }
 
-/// Run a full campaign cell in parallel.
-pub fn run_campaign<M: InjectionModel + Sync + ?Sized>(
-    benchmark_name: &str,
-    golden: &GoldenRun,
-    model: &M,
-    cfg: &CampaignConfig,
-) -> CampaignResult {
-    let timeout_steps = (golden.instructions as f64 * cfg.timeout_factor).ceil() as u64;
+/// The per-run derived seed (stable across engines, thread counts, and
+/// resume boundaries — the determinism anchor of the whole campaign
+/// layer).
+fn run_seed(cell_seed: u64, run: usize) -> u64 {
+    cell_seed ^ ((run as u64) << 20)
+}
+
+fn cell_seed<M: InjectionModel + ?Sized>(cfg: &CampaignConfig, model: &M) -> u64 {
     // Decorrelate cells that share a base seed: different corners via the
     // VR salt, different model families at the same corner via the model
     // name salt.
     let vr_salt = (model.vr().fraction() * 1e6) as u64;
-    let seed = cfg.seed
+    cfg.seed
         ^ vr_salt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        ^ model_salt(model.name()).wrapping_mul(0xff51_afd7_ed55_8ccd);
+        ^ model_salt(model.name()).wrapping_mul(0xff51_afd7_ed55_8ccd)
+}
+
+/// Outcome of one panic-isolated injection run.
+enum IsolatedRun {
+    Tally(RunTally, /* retried */ bool),
+    Quarantined(QuarantinedRun),
+}
+
+/// Execute run `r` behind the panic isolation boundary: a panicking run
+/// is retried once with the same draw (same derived seed), and a second
+/// panic quarantines it with its repro triple instead of unwinding into
+/// the worker pool.
+fn run_isolated<M: InjectionModel + ?Sized>(
+    runner: &mut Runner<'_, M>,
+    chaos: &Chaos,
+    r: usize,
+    seed: u64,
+) -> IsolatedRun {
+    for attempt in 0u32..2 {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if chaos.should_panic(r, attempt) {
+                panic!("chaos hook: injected panic in run {r}");
+            }
+            runner.one_run(seed)
+        }));
+        match result {
+            Ok(tally) => return IsolatedRun::Tally(tally, attempt > 0),
+            Err(payload) => {
+                // The panic may have left the reusable fork core (and in
+                // principle the memo cache lock) mid-operation; rebuild
+                // before the retry touches them.
+                runner.reset_fork();
+                if attempt == 1 {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    // Re-derive the repro triple without replaying.
+                    let (target, mask) = match runner.draw(seed) {
+                        Draw::Inject { target, mask } => (Some(target), mask),
+                        _ => (None, 0),
+                    };
+                    return IsolatedRun::Quarantined(QuarantinedRun {
+                        run: r as u64,
+                        seed,
+                        target,
+                        mask,
+                        message,
+                    });
+                }
+            }
+        }
+    }
+    unreachable!("loop returns on success or second failure")
+}
+
+/// Everything a cell execution produces: merged tallies, quarantine
+/// reports, and whether a cooperative stop cut the sweep short.
+struct CellOutcome {
+    counts: OutcomeCounts,
+    quarantined: Vec<QuarantinedRun>,
+    interrupted: bool,
+}
+
+/// The shared worker-pool core of [`run_campaign`] and
+/// [`run_campaign_durable`]: shard `0..cfg.runs` across workers, skip
+/// runs already journaled, isolate panics, and (when a journal is
+/// present) write-ahead-log every completed run before tallying it.
+fn execute_cell<M: InjectionModel + Sync + ?Sized>(
+    golden: &GoldenRun,
+    model: &M,
+    cfg: &CampaignConfig,
+    skip: &HashSet<u64>,
+    journal: Option<&Mutex<Journal>>,
+    appends: &AtomicU64,
+) -> Result<CellOutcome, TeiError> {
+    let timeout_steps = (golden.instructions as f64 * cfg.timeout_factor).ceil() as u64;
+    let seed = cell_seed(cfg, model);
     let plan = CellPlan::new(golden, model);
     let cache: Option<MemoCache> = match cfg.mode {
         ReplayMode::Checkpointed { memoize: true } => Some(Mutex::new(HashMap::new())),
@@ -562,8 +793,107 @@ pub fn run_campaign<M: InjectionModel + Sync + ?Sized>(
     let runs = cfg.runs;
     let threads = cfg.threads.clamp(1, runs.max(1));
     let chunk = runs.div_ceil(threads);
+    let chaos = &cfg.chaos;
+    let stop_requested = || {
+        crate::shutdown::requested()
+            || chaos
+                .stop_after_appends
+                .is_some_and(|cap| appends.load(Ordering::Relaxed) >= cap)
+    };
+
+    type WorkerResult = Result<(OutcomeCounts, Vec<QuarantinedRun>, bool), TeiError>;
+    let worker = |lo: usize, hi: usize| -> WorkerResult {
+        let mut local = OutcomeCounts::default();
+        let mut quarantined = Vec::new();
+        let mut interrupted = false;
+        let mut runner = Runner::new(
+            golden,
+            model,
+            &plan,
+            timeout_steps,
+            cfg.mode,
+            cache.as_ref(),
+        );
+        for r in lo..hi {
+            if skip.contains(&(r as u64)) {
+                continue;
+            }
+            if journal.is_some() && stop_requested() {
+                interrupted = true;
+                break;
+            }
+            if chaos.throttle_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(chaos.throttle_ms));
+            }
+            let rs = run_seed(seed, r);
+            let (record, tally_counts) = match run_isolated(&mut runner, chaos, r, rs) {
+                IsolatedRun::Tally(tally, retried) => {
+                    let mut c = OutcomeCounts::default();
+                    c.add(tally.outcome);
+                    if tally.wrong_path {
+                        c.masked_wrong_path += 1;
+                    }
+                    if tally.no_error {
+                        c.masked_no_error += 1;
+                    }
+                    if tally.mistargeted {
+                        c.mistargeted += 1;
+                    }
+                    (
+                        RunRecord {
+                            run: r as u64,
+                            seed: rs,
+                            target: tally.target,
+                            mask: tally.mask,
+                            outcome: RecordedOutcome::Classified(tally.outcome),
+                            wrong_path: tally.wrong_path,
+                            no_error: tally.no_error,
+                            mistargeted: tally.mistargeted,
+                            retried,
+                            instructions: golden.instructions,
+                        },
+                        c,
+                    )
+                }
+                IsolatedRun::Quarantined(q) => {
+                    let mut c = OutcomeCounts::default();
+                    c.quarantined += 1;
+                    let record = RunRecord {
+                        run: q.run,
+                        seed: q.seed,
+                        target: q.target,
+                        mask: q.mask,
+                        outcome: RecordedOutcome::Quarantined,
+                        wrong_path: false,
+                        no_error: false,
+                        mistargeted: false,
+                        retried: true,
+                        instructions: golden.instructions,
+                    };
+                    quarantined.push(q);
+                    (record, c)
+                }
+            };
+            // WAL discipline: the run only counts once it is durably on
+            // disk, so a crash between here and the final tally can at
+            // worst lose in-flight runs, never double-count.
+            if let Some(journal) = journal {
+                let mut j = match journal.lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                j.append(&record)?;
+                appends.fetch_add(1, Ordering::Relaxed);
+            }
+            local.merge(&tally_counts);
+        }
+        Ok((local, quarantined, interrupted))
+    };
+
     let mut counts = OutcomeCounts::default();
-    crossbeam::scope(|scope| {
+    let mut quarantined = Vec::new();
+    let mut interrupted = false;
+    let joined: Result<Vec<WorkerResult>, _> = crossbeam::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * chunk;
@@ -571,36 +901,226 @@ pub fn run_campaign<M: InjectionModel + Sync + ?Sized>(
             if lo >= hi {
                 break;
             }
-            let (plan, cache) = (&plan, cache.as_ref());
-            handles.push(scope.spawn(move |_| {
-                let mut local = OutcomeCounts::default();
-                let mut runner = Runner::new(golden, model, plan, timeout_steps, cfg.mode, cache);
-                for r in lo..hi {
-                    let tally = runner.one_run(seed ^ ((r as u64) << 20));
-                    local.add(tally.outcome);
-                    if tally.wrong_path {
-                        local.masked_wrong_path += 1;
-                    }
-                    if tally.no_error {
-                        local.masked_no_error += 1;
-                    }
-                    if tally.mistargeted {
-                        local.mistargeted += 1;
-                    }
-                }
-                local
-            }));
+            let worker = &worker;
+            handles.push(scope.spawn(move |_| worker(lo, hi)));
         }
-        for h in handles {
-            counts.merge(&h.join().expect("campaign worker panicked"));
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| TeiError::WorkerPool("campaign cell")))
+            .collect()
     })
-    .expect("campaign scope");
-    CampaignResult {
+    .map_err(|_| TeiError::WorkerPool("campaign scope"))?;
+    for wr in joined? {
+        let (c, q, i) = wr?;
+        counts.merge(&c);
+        quarantined.extend(q);
+        interrupted |= i;
+    }
+    quarantined.sort_by_key(|q| q.run);
+    Ok(CellOutcome {
+        counts,
+        quarantined,
+        interrupted,
+    })
+}
+
+/// Run a full campaign cell in parallel, surfacing orchestration failures
+/// as typed errors.
+///
+/// # Errors
+///
+/// [`TeiError::Config`] for unusable sizing knobs and
+/// [`TeiError::WorkerPool`] if the worker pool cannot be joined (runs
+/// themselves never abort the pool — they are panic-isolated and at worst
+/// quarantined).
+pub fn run_campaign_checked<M: InjectionModel + Sync + ?Sized>(
+    benchmark_name: &str,
+    golden: &GoldenRun,
+    model: &M,
+    cfg: &CampaignConfig,
+) -> Result<CampaignResult, TeiError> {
+    cfg.validate()?;
+    let cell = execute_cell(
+        golden,
+        model,
+        cfg,
+        &HashSet::new(),
+        None,
+        &AtomicU64::new(0),
+    )?;
+    Ok(CampaignResult {
+        benchmark: benchmark_name.to_string(),
+        model: model.name().to_string(),
+        vr: model.vr(),
+        counts: cell.counts,
+        error_ratio: model_error_ratio(model, golden),
+        quarantined: cell.quarantined,
+    })
+}
+
+/// Run a full campaign cell in parallel.
+///
+/// # Panics
+///
+/// Documented invariant: with a default-valid config and no journal, the
+/// only failure [`run_campaign_checked`] can surface is a worker-pool
+/// join error, which panic isolation makes unreachable short of a runtime
+/// bug; an invalid `cfg` is a caller bug at this non-`Result` API.
+pub fn run_campaign<M: InjectionModel + Sync + ?Sized>(
+    benchmark_name: &str,
+    golden: &GoldenRun,
+    model: &M,
+    cfg: &CampaignConfig,
+) -> CampaignResult {
+    match run_campaign_checked(benchmark_name, golden, model, cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("campaign failed: {e}"),
+    }
+}
+
+/// The durable identity of a campaign cell, used to key its journal.
+pub fn campaign_manifest<M: InjectionModel + ?Sized>(
+    benchmark_name: &str,
+    golden: &GoldenRun,
+    model: &M,
+    cfg: &CampaignConfig,
+) -> CampaignManifest {
+    // The model fingerprint folds the per-op error-ratio bit patterns:
+    // any recalibration that changes behavior changes the hash.
+    let mut ratio_bytes = Vec::with_capacity(12 * 8);
+    for op in FpOp::all() {
+        ratio_bytes.extend_from_slice(&model.error_ratio(op).to_bits().to_le_bytes());
+    }
+    ratio_bytes.extend_from_slice(model.name().as_bytes());
+    ratio_bytes.extend_from_slice(model.vr().label().as_bytes());
+    CampaignManifest {
+        version: 1,
+        benchmark: benchmark_name.to_string(),
+        model: model.name().to_string(),
+        vr: model.vr().label(),
+        runs: cfg.runs as u64,
+        seed: cfg.seed,
+        timeout_factor_bits: cfg.timeout_factor.to_bits(),
+        golden_instructions: golden.instructions,
+        golden_fp_ops: golden.fp_ops,
+        golden_output_fnv: fnv64(&golden.output),
+        model_fingerprint: fnv64(&ratio_bytes),
+    }
+}
+
+/// [`run_campaign`] with durability: every completed run is write-ahead-
+/// logged to a journal under `journal_dir` before it counts, an existing
+/// journal for the same manifest resumes the sweep (skipping completed
+/// runs), and SIGINT/SIGTERM drain the workers and flush the journal
+/// instead of losing progress. The final [`OutcomeCounts`] of a resumed
+/// campaign are byte-identical to an uninterrupted one.
+///
+/// # Errors
+///
+/// * [`TeiError::Config`] — malformed env knobs or config fields.
+/// * [`TeiError::ManifestMismatch`] — `journal_dir` holds a journal for a
+///   different campaign identity (it is refused, never merged).
+/// * [`TeiError::JournalCorrupt`] / [`TeiError::Io`] — journal damage
+///   beyond torn-tail recovery, or filesystem failures.
+/// * [`TeiError::Interrupted`] — a shutdown signal arrived; workers were
+///   drained and the journal flushed, so re-running resumes.
+pub fn run_campaign_durable<M: InjectionModel + Sync + ?Sized>(
+    benchmark_name: &str,
+    golden: &GoldenRun,
+    model: &M,
+    cfg: &CampaignConfig,
+    journal_dir: &Path,
+) -> Result<CampaignResult, TeiError> {
+    crate::config::validate_env()?;
+    cfg.validate()?;
+    // The deterministic-interrupt chaos hook stands in for a real signal;
+    // tests using it must not install process-wide handlers. Every other
+    // configuration (including throttled sweeps) wants graceful draining.
+    if cfg.chaos.stop_after_appends.is_none() {
+        crate::shutdown::install_handlers();
+    }
+    let manifest = campaign_manifest(benchmark_name, golden, model, cfg);
+    let JournalResume {
+        journal,
+        completed,
+        truncated_bytes,
+    } = Journal::open_or_create(journal_dir, &manifest)?;
+    if truncated_bytes > 0 {
+        eprintln!(
+            "[journal] recovered {}: dropped {truncated_bytes} torn byte(s) from the tail",
+            journal.path().display()
+        );
+    }
+
+    // Rebuild the partial tally from the journal replay.
+    let mut counts = OutcomeCounts::default();
+    let mut quarantined = Vec::new();
+    let mut skip: HashSet<u64> = HashSet::with_capacity(completed.len());
+    for rec in &completed {
+        if rec.run >= cfg.runs as u64 || !skip.insert(rec.run) {
+            // Out-of-range or duplicate records cannot come from this
+            // manifest's own append path; refuse rather than double-count.
+            return Err(TeiError::JournalCorrupt {
+                path: journal.path().to_path_buf(),
+                reason: format!("record for run {} is out of range or duplicated", rec.run),
+            });
+        }
+        match rec.outcome {
+            RecordedOutcome::Classified(o) => {
+                counts.add(o);
+                if rec.wrong_path {
+                    counts.masked_wrong_path += 1;
+                }
+                if rec.no_error {
+                    counts.masked_no_error += 1;
+                }
+                if rec.mistargeted {
+                    counts.mistargeted += 1;
+                }
+            }
+            RecordedOutcome::Quarantined => {
+                counts.quarantined += 1;
+                quarantined.push(QuarantinedRun {
+                    run: rec.run,
+                    seed: rec.seed,
+                    target: rec.target,
+                    mask: rec.mask,
+                    message: "replayed from journal".to_string(),
+                });
+            }
+        }
+    }
+    if !completed.is_empty() {
+        eprintln!(
+            "[journal] resuming {benchmark_name}/{}/{}: {} of {} runs already recorded",
+            manifest.model,
+            manifest.vr,
+            skip.len(),
+            cfg.runs
+        );
+    }
+
+    let journal = Mutex::new(journal);
+    let appends = AtomicU64::new(0);
+    let cell = execute_cell(golden, model, cfg, &skip, Some(&journal), &appends)?;
+    counts.merge(&cell.counts);
+    quarantined.extend(cell.quarantined);
+    quarantined.sort_by_key(|q| q.run);
+
+    if cell.interrupted && counts.total() < cfg.runs as u64 {
+        // Workers drained; the journal holds every completed run. fsync'd
+        // appends mean there is nothing further to flush.
+        return Err(TeiError::Interrupted {
+            completed: counts.total(),
+            requested: cfg.runs as u64,
+        });
+    }
+    Ok(CampaignResult {
         benchmark: benchmark_name.to_string(),
         model: model.name().to_string(),
         vr: model.vr(),
         counts,
         error_ratio: model_error_ratio(model, golden),
-    }
+        quarantined,
+    })
 }

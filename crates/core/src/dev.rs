@@ -3,6 +3,7 @@
 //! libraries the injection models are built from (paper Section III.A).
 
 use crate::config;
+use crate::error::TeiError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -343,6 +344,10 @@ pub fn dta_campaign_with_threads(
     };
 
     let ranges = shard_ranges(transitions, threads);
+    // Documented invariant: shard closures are pure compute over operand
+    // pairs the golden run already validated — they cannot panic short of
+    // a kernel bug, so a join failure here is a programming error, not an
+    // operational condition worth a Result on this hot path.
     let mut stats = if ranges.len() == 1 {
         run_shard(0, transitions)
     } else {
@@ -428,6 +433,8 @@ pub fn dta_campaign_sampled_with_threads(
     };
 
     let ranges = shard_ranges(indices.len(), threads);
+    // Documented invariant: see `dta_campaign_with_threads` — shard
+    // closures are panic-free pure compute.
     let mut stats = if ranges.len() <= 1 {
         run_shard(indices)
     } else {
@@ -487,7 +494,11 @@ pub struct DaCalibration {
 /// Results come back in op order regardless of completion order, so
 /// callers folding them stay deterministic. Workers run their campaigns
 /// serially (pass `threads = 1` down) to avoid oversubscription.
-pub(crate) fn per_op_parallel<T, F>(f: F) -> Vec<T>
+///
+/// A worker that panics (or a slot left unfilled) surfaces as
+/// [`TeiError::WorkerPool`] instead of tearing the process down, so model
+/// development failures are reportable by the campaign orchestrator.
+pub(crate) fn per_op_parallel<T, F>(f: F) -> Result<Vec<T>, TeiError>
 where
     T: Send,
     F: Fn(FpOp) -> T + Sync,
@@ -495,10 +506,11 @@ where
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
+    const POOL: &str = "per-op model development";
     let ops = FpOp::all();
     let threads = config::default_threads().clamp(1, ops.len());
     if threads <= 1 {
-        return ops.into_iter().map(f).collect();
+        return Ok(ops.into_iter().map(f).collect());
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..ops.len()).map(|_| Mutex::new(None)).collect();
@@ -510,17 +522,21 @@ where
                     break;
                 }
                 let value = f(ops[i]);
-                *slots[i].lock().expect("op slot") = Some(value);
+                let mut slot = match slots[i].lock() {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *slot = Some(value);
             });
         }
     })
-    .expect("per-op scope");
+    .map_err(|_| TeiError::WorkerPool(POOL))?;
     slots
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("op slot")
-                .expect("per-op worker completed")
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .ok_or(TeiError::WorkerPool(POOL))
         })
         .collect()
 }
@@ -528,13 +544,17 @@ where
 /// Calibrate the DA model's fixed ER from pooled traces: the average
 /// instruction error ratio over the mixed stream. Per-op campaigns run
 /// on parallel worker threads; totals fold in op order.
+///
+/// # Errors
+///
+/// [`TeiError::WorkerPool`] when the per-op worker pool fails.
 pub fn calibrate_da(
     bank: &FpuBank,
     spec: &FpuTimingSpec,
     pooled: &TraceSet,
     levels: &[VoltageReduction],
     per_op_cap: usize,
-) -> DaCalibration {
+) -> Result<DaCalibration, TeiError> {
     let per_op: Vec<Option<Vec<OpErrorStats>>> = per_op_parallel(|op| {
         let trace = pooled.of(op);
         if trace.len() < 2 {
@@ -548,7 +568,7 @@ pub fn calibrate_da(
             levels,
             1,
         ))
-    });
+    })?;
     let mut totals = vec![(0u64, 0u64); levels.len()]; // (faulty, samples)
     for stats in per_op.into_iter().flatten() {
         for (t, s) in totals.iter_mut().zip(&stats) {
@@ -556,13 +576,13 @@ pub fn calibrate_da(
             t.1 += s.samples;
         }
     }
-    DaCalibration {
+    Ok(DaCalibration {
         er: levels
             .iter()
             .zip(&totals)
             .map(|(&vr, &(f, n))| (vr, if n == 0 { 0.0 } else { f as f64 / n as f64 }))
             .collect(),
-    }
+    })
 }
 
 /// Generate (or regenerate) the calibrated FPU bank used across the

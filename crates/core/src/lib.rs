@@ -16,6 +16,11 @@
 //! * **Energy analysis** ([`power`]) — the calibrated power model and
 //!   AVM-guided operating-point selection of Section V.C.
 //! * **Statistics** ([`stats`]) — Leveugle sample sizing (the 1068 runs).
+//! * **Durability** ([`journal`], [`error`], [`shutdown`]) — write-ahead
+//!   outcome journals with manifest-keyed resume, panic-isolated runs
+//!   with quarantine + retry, typed orchestration errors, and
+//!   signal-drained shutdown, so multi-hour sweeps survive crashes,
+//!   poisoned runs, and ctrl-C without losing completed work.
 //!
 //! ## Example
 //!
@@ -24,27 +29,39 @@
 //! use tei_timing::VoltageReduction;
 //! use tei_workloads::{build, BenchmarkId, Scale};
 //!
+//! # fn main() -> Result<(), tei_core::TeiError> {
 //! // Model development: generate the FPU bank and a workload-aware model.
 //! let (bank, spec) = dev::default_bank();
 //! let bench = build(BenchmarkId::Sobel, Scale::Small);
 //! let trace = dev::TraceSet::capture(&bench.program, 8 << 20, u64::MAX, 20_000);
 //! let wa = models::StatModel::workload_aware(
-//!     &bank, &spec, VoltageReduction::VR20, &trace, 20_000);
+//!     &bank, &spec, VoltageReduction::VR20, &trace, 20_000)?;
 //!
-//! // Application evaluation: run the injection campaign.
-//! let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX);
+//! // Application evaluation: run the injection campaign durably — every
+//! // completed run is journaled, and an interrupted sweep resumes.
+//! let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX)?;
 //! let cfg = campaign::CampaignConfig::default();
-//! let result = campaign::run_campaign("sobel", &golden, &wa, &cfg);
+//! let result = campaign::run_campaign_durable(
+//!     "sobel", &golden, &wa, &cfg, &tei_core::config::default_journal_dir())?;
 //! println!("AVM = {:.3}", result.avm());
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod campaign;
 pub mod config;
 pub mod dev;
+pub mod error;
+pub mod journal;
 pub mod models;
 pub mod power;
+pub mod shutdown;
 pub mod stats;
 
-pub use campaign::{CampaignConfig, CampaignResult, GoldenRun, Outcome, OutcomeCounts, ReplayMode};
+pub use campaign::{
+    CampaignConfig, CampaignResult, GoldenRun, Outcome, OutcomeCounts, QuarantinedRun, ReplayMode,
+};
 pub use dev::{DaCalibration, OpErrorStats, TraceSet};
+pub use error::TeiError;
+pub use journal::{atomic_write, atomic_write_checksummed, fnv64, CampaignManifest, Journal};
 pub use models::{DaModel, InjectionModel, MaskSampling, ModelKind, StatModel};

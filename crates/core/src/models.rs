@@ -6,6 +6,7 @@ use crate::dev::{
     dta_campaign_with_threads, per_op_parallel, random_operand_pairs, DaCalibration, OpErrorStats,
     TraceSet,
 };
+use crate::error::TeiError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use tei_fpu::{FpuBank, FpuTimingSpec};
@@ -71,17 +72,21 @@ pub struct DaModel {
 impl DaModel {
     /// Build from a calibration (Monte-Carlo DTA over a benchmark mix).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the calibration lacks this VR level.
-    pub fn from_calibration(cal: &DaCalibration, vr: VoltageReduction) -> Self {
+    /// [`TeiError::MissingVrLevel`] naming the level when the calibration
+    /// does not contain it.
+    pub fn from_calibration(cal: &DaCalibration, vr: VoltageReduction) -> Result<Self, TeiError> {
         let er = cal
             .er
             .iter()
             .find(|(v, _)| *v == vr)
             .map(|&(_, e)| e)
-            .expect("VR level missing from DA calibration");
-        DaModel { vr, er }
+            .ok_or_else(|| TeiError::MissingVrLevel {
+                vr: vr.label(),
+                context: "DA calibration",
+            })?;
+        Ok(DaModel { vr, er })
     }
 
     /// Build directly from a fixed error ratio (e.g. the paper's published
@@ -151,6 +156,9 @@ struct OpStats {
 }
 
 impl StatModel {
+    // Documented invariant: the public constructors above pass a single
+    // VR level down to every per-op campaign, so mixed-VR stats here are
+    // a caller bug inside this module, not an operational failure.
     fn from_stats(
         kind: ModelKind,
         vr: VoltageReduction,
@@ -196,40 +204,70 @@ impl StatModel {
     /// operands per instruction type (paper Section IV.C.2). Per-op
     /// campaigns are distributed over worker threads; the stats come
     /// back in op order, so the model is thread-count independent.
+    ///
+    /// # Errors
+    ///
+    /// [`TeiError::EmptyDta`] when a per-op campaign yields no stats for
+    /// the requested VR level, [`TeiError::WorkerPool`] if the worker
+    /// pool fails.
     pub fn instruction_aware(
         bank: &FpuBank,
         spec: &FpuTimingSpec,
         vr: VoltageReduction,
         samples_per_op: usize,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self, TeiError> {
         let stats: Vec<OpErrorStats> = per_op_parallel(|op| {
             let pairs = random_operand_pairs(op, samples_per_op, seed);
             dta_campaign_with_threads(bank.unit(op), &pairs, spec.clk, &[vr], 1)
                 .pop()
-                .expect("one VR level requested")
-        });
-        Self::from_stats(ModelKind::Ia, vr, MaskSampling::default(), &stats)
+                .ok_or_else(|| TeiError::EmptyDta {
+                    op: op.to_string(),
+                    vr: vr.label(),
+                })
+        })?
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+        Ok(Self::from_stats(
+            ModelKind::Ia,
+            vr,
+            MaskSampling::default(),
+            &stats,
+        ))
     }
 
     /// Build the workload-aware model: DTA over the operand trace of the
     /// target benchmark (paper Section IV.C.3). Parallelized like
     /// [`StatModel::instruction_aware`].
+    ///
+    /// # Errors
+    ///
+    /// See [`StatModel::instruction_aware`].
     pub fn workload_aware(
         bank: &FpuBank,
         spec: &FpuTimingSpec,
         vr: VoltageReduction,
         trace: &TraceSet,
         per_op_cap: usize,
-    ) -> Self {
+    ) -> Result<Self, TeiError> {
         let stats: Vec<OpErrorStats> = per_op_parallel(|op| {
             let t = trace.of(op);
             let take = t.len().min(per_op_cap);
             dta_campaign_with_threads(bank.unit(op), &t[..take], spec.clk, &[vr], 1)
                 .pop()
-                .expect("one VR level requested")
-        });
-        Self::from_stats(ModelKind::Wa, vr, MaskSampling::default(), &stats)
+                .ok_or_else(|| TeiError::EmptyDta {
+                    op: op.to_string(),
+                    vr: vr.label(),
+                })
+        })?
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+        Ok(Self::from_stats(
+            ModelKind::Wa,
+            vr,
+            MaskSampling::default(),
+            &stats,
+        ))
     }
 
     /// Switch the mask-sampling strategy (ablation).
@@ -307,6 +345,22 @@ mod tests {
         for _ in 0..100 {
             let mask = m.sample_mask(cvt, &mut rng);
             assert!(mask < (1u64 << 32));
+        }
+    }
+
+    #[test]
+    fn missing_vr_level_is_a_typed_error() {
+        let cal = crate::dev::DaCalibration {
+            er: vec![(VoltageReduction::VR15, 1e-3)],
+        };
+        assert!(DaModel::from_calibration(&cal, VoltageReduction::VR15).is_ok());
+        let err = DaModel::from_calibration(&cal, VoltageReduction::VR20).unwrap_err();
+        match err {
+            crate::TeiError::MissingVrLevel { vr, context } => {
+                assert_eq!(vr, VoltageReduction::VR20.label());
+                assert_eq!(context, "DA calibration");
+            }
+            other => panic!("expected MissingVrLevel, got {other}"),
         }
     }
 

@@ -1,6 +1,8 @@
 //! Statistical fault-injection sample sizing (Leveugle et al., DATE'09),
 //! which the paper uses to choose 1068 runs per campaign cell.
 
+use crate::error::TeiError;
+
 /// Number of injection runs for a given error margin `e` and confidence
 /// level, assuming the worst-case outcome variance (p = 0.5) and an
 /// effectively infinite fault population:
@@ -9,33 +11,49 @@
 ///
 /// where `t` is the two-sided normal quantile of the confidence level.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics unless `0 < e < 1` and confidence is one of the supported
-/// levels (0.90, 0.95, 0.99).
-pub fn sample_size(error_margin: f64, confidence: f64) -> usize {
-    assert!(error_margin > 0.0 && error_margin < 1.0, "invalid margin");
+/// [`TeiError::Config`] unless `0 < e < 1`, and
+/// [`TeiError::UnsupportedConfidence`] for confidence levels outside the
+/// supported table (0.90, 0.95, 0.99).
+pub fn sample_size(error_margin: f64, confidence: f64) -> Result<usize, TeiError> {
+    if !(error_margin > 0.0 && error_margin < 1.0) {
+        return Err(TeiError::Config {
+            knob: "error_margin".to_string(),
+            reason: format!("{error_margin} is outside (0, 1)"),
+        });
+    }
     let t = match confidence {
         c if (c - 0.90).abs() < 1e-9 => 1.6449,
         c if (c - 0.95).abs() < 1e-9 => 1.9600,
         c if (c - 0.99).abs() < 1e-9 => 2.5758,
-        other => panic!("unsupported confidence level {other}"),
+        other => return Err(TeiError::UnsupportedConfidence(other)),
     };
     let p = 0.5;
-    (t * t * p * (1.0 - p) / (error_margin * error_margin)).ceil() as usize
+    Ok((t * t * p * (1.0 - p) / (error_margin * error_margin)).ceil() as usize)
 }
 
 /// Finite-population correction: runs needed when only `population` faults
 /// exist (Leveugle eq. for finite N).
-pub fn sample_size_finite(population: u64, error_margin: f64, confidence: f64) -> usize {
-    let n0 = sample_size(error_margin, confidence) as f64;
+///
+/// # Errors
+///
+/// Propagates [`sample_size`] errors.
+pub fn sample_size_finite(
+    population: u64,
+    error_margin: f64,
+    confidence: f64,
+) -> Result<usize, TeiError> {
+    let n0 = sample_size(error_margin, confidence)? as f64;
     let n = population as f64;
     if n <= 0.0 {
-        return 0;
+        return Ok(0);
     }
-    (n / (1.0 + (n - 1.0) * (error_margin * error_margin) / (n0 * error_margin * error_margin)))
-        .min(n)
-        .ceil() as usize
+    Ok(
+        (n / (1.0 + (n - 1.0) * (error_margin * error_margin) / (n0 * error_margin * error_margin)))
+            .min(n)
+            .ceil() as usize,
+    )
 }
 
 #[cfg(test)]
@@ -45,27 +63,29 @@ mod tests {
     #[test]
     fn paper_sample_size_reproduced() {
         // 3 % margin, 95 % confidence → the paper's 1068 runs.
-        assert_eq!(sample_size(0.03, 0.95), 1068);
+        assert_eq!(sample_size(0.03, 0.95).unwrap(), 1068);
     }
 
     #[test]
     fn tighter_margins_need_more_runs() {
-        assert!(sample_size(0.01, 0.95) > sample_size(0.03, 0.95));
-        assert!(sample_size(0.03, 0.99) > sample_size(0.03, 0.95));
+        assert!(sample_size(0.01, 0.95).unwrap() > sample_size(0.03, 0.95).unwrap());
+        assert!(sample_size(0.03, 0.99).unwrap() > sample_size(0.03, 0.95).unwrap());
     }
 
     #[test]
     fn finite_population_caps_runs() {
-        assert!(sample_size_finite(500, 0.03, 0.95) <= 500);
+        assert!(sample_size_finite(500, 0.03, 0.95).unwrap() <= 500);
         // A huge population approaches the infinite-population size.
-        let inf = sample_size(0.03, 0.95);
-        let big = sample_size_finite(100_000_000, 0.03, 0.95);
+        let inf = sample_size(0.03, 0.95).unwrap();
+        let big = sample_size_finite(100_000_000, 0.03, 0.95).unwrap();
         assert!((big as i64 - inf as i64).abs() <= 1);
     }
 
     #[test]
-    #[should_panic(expected = "unsupported confidence")]
     fn odd_confidence_rejected() {
-        sample_size(0.03, 0.80);
+        let err = sample_size(0.03, 0.80).unwrap_err();
+        assert!(matches!(err, TeiError::UnsupportedConfidence(c) if (c - 0.80).abs() < 1e-12));
+        assert!(sample_size(0.0, 0.95).is_err(), "margin must be in (0,1)");
+        assert!(sample_size_finite(10, 0.03, 0.42).is_err());
     }
 }

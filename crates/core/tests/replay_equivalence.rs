@@ -90,7 +90,7 @@ fn checkpointed_replay_matches_from_zero_across_intervals() {
     // yield the same tally, including pathological spacing (1) that forces
     // the recorder's adaptive thinning.
     for interval in [0u64, 1, 37, 1 << 30] {
-        let golden = GoldenRun::capture_with_checkpoints(&bench, MEM, u64::MAX, interval);
+        let golden = GoldenRun::capture_with_checkpoints(&bench, MEM, u64::MAX, interval).unwrap();
         assert_all_modes_equivalent(&golden, &da);
     }
 }
@@ -98,7 +98,7 @@ fn checkpointed_replay_matches_from_zero_across_intervals() {
 #[test]
 fn checkpointed_replay_matches_from_zero_multibit() {
     let bench = build(BenchmarkId::Sobel, Scale::Test);
-    let golden = GoldenRun::capture(&bench, MEM, u64::MAX);
+    let golden = GoldenRun::capture(&bench, MEM, u64::MAX).unwrap();
     assert_all_modes_equivalent(&golden, &MultiBitModel);
     let da = DaModel::from_fixed(VoltageReduction::VR20, 5e-3);
     assert_all_modes_equivalent(&golden, &da);
@@ -124,7 +124,7 @@ fn model_name_decorrelates_seed_streams() {
         }
     }
     let bench = build(BenchmarkId::Is, Scale::Test);
-    let golden = GoldenRun::capture(&bench, MEM, u64::MAX);
+    let golden = GoldenRun::capture(&bench, MEM, u64::MAX).unwrap();
     let a = campaign_counts(&golden, &Renamed("alpha"), ReplayMode::default(), 2);
     let b = campaign_counts(&golden, &Renamed("beta"), ReplayMode::default(), 2);
     assert_ne!(

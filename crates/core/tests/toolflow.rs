@@ -21,8 +21,10 @@ fn ia_model_matches_paper_structure() {
     use FpOpKind::*;
     use Precision::*;
     let samples = 1500;
-    let ia15 = StatModel::instruction_aware(bank, spec, VoltageReduction::VR15, samples, 42);
-    let ia20 = StatModel::instruction_aware(bank, spec, VoltageReduction::VR20, samples, 42);
+    let ia15 =
+        StatModel::instruction_aware(bank, spec, VoltageReduction::VR15, samples, 42).unwrap();
+    let ia20 =
+        StatModel::instruction_aware(bank, spec, VoltageReduction::VR20, samples, 42).unwrap();
     // Conversions and every single-precision op are error-free at both
     // corners (paper Fig. 7); errors concentrate in double arithmetic.
     for op in FpOp::all() {
@@ -56,7 +58,8 @@ fn wa_models_differ_across_workloads() {
     for id in [BenchmarkId::Is, BenchmarkId::Sobel, BenchmarkId::Kmeans] {
         let bench = build(id, Scale::Test);
         let trace = dev::TraceSet::capture(&bench.program, MEM, u64::MAX, cap);
-        let wa = StatModel::workload_aware(bank, spec, VoltageReduction::VR20, &trace, cap);
+        let wa =
+            StatModel::workload_aware(bank, spec, VoltageReduction::VR20, &trace, cap).unwrap();
         let er = campaign_free_error_ratio(&wa);
         ratios.push((id, er));
     }
@@ -133,7 +136,7 @@ fn ber_estimate_converges_with_sample_count() {
 #[test]
 fn da_campaign_produces_nonmasked_outcomes() {
     let bench = build(BenchmarkId::Sobel, Scale::Test);
-    let golden = campaign::GoldenRun::capture(&bench, MEM, u64::MAX);
+    let golden = campaign::GoldenRun::capture(&bench, MEM, u64::MAX).unwrap();
     let da = DaModel::from_fixed(VoltageReduction::VR20, 1e-2);
     let cfg = campaign::CampaignConfig {
         runs: 60,
@@ -158,8 +161,8 @@ fn wa_campaign_respects_zero_error_workloads() {
     let (bank, spec) = bank();
     let bench = build(BenchmarkId::Kmeans, Scale::Test);
     let trace = dev::TraceSet::capture(&bench.program, MEM, u64::MAX, 1000);
-    let wa = StatModel::workload_aware(bank, spec, VoltageReduction::VR15, &trace, 1000);
-    let golden = campaign::GoldenRun::capture(&bench, MEM, u64::MAX);
+    let wa = StatModel::workload_aware(bank, spec, VoltageReduction::VR15, &trace, 1000).unwrap();
+    let golden = campaign::GoldenRun::capture(&bench, MEM, u64::MAX).unwrap();
     let cfg = campaign::CampaignConfig {
         runs: 25,
         seed: 5,
@@ -185,8 +188,8 @@ fn da_vs_wa_error_ratio_divergence() {
     let (bank, spec) = bank();
     let bench = build(BenchmarkId::Sobel, Scale::Test);
     let trace = dev::TraceSet::capture(&bench.program, MEM, u64::MAX, 4000);
-    let golden = campaign::GoldenRun::capture(&bench, MEM, u64::MAX);
-    let wa = StatModel::workload_aware(bank, spec, VoltageReduction::VR15, &trace, 4000);
+    let golden = campaign::GoldenRun::capture(&bench, MEM, u64::MAX).unwrap();
+    let wa = StatModel::workload_aware(bank, spec, VoltageReduction::VR15, &trace, 4000).unwrap();
     let da = DaModel::from_fixed(VoltageReduction::VR15, 1e-3);
     let wa_er = campaign::model_error_ratio(&wa, &golden);
     let da_er = campaign::model_error_ratio(&da, &golden);
@@ -200,7 +203,7 @@ fn da_vs_wa_error_ratio_divergence() {
 #[test]
 fn golden_run_records_microarchitectural_events() {
     let bench = build(BenchmarkId::Kmeans, Scale::Test);
-    let golden = campaign::GoldenRun::capture(&bench, MEM, u64::MAX);
+    let golden = campaign::GoldenRun::capture(&bench, MEM, u64::MAX).unwrap();
     assert!(golden.fp_ops > 0);
     assert_eq!(
         golden.arch_by_op.iter().map(Vec::len).sum::<usize>() as u64,
@@ -217,7 +220,7 @@ fn golden_run_records_microarchitectural_events() {
 #[test]
 fn models_serialize_roundtrip() {
     let (bank, spec) = bank();
-    let ia = StatModel::instruction_aware(bank, spec, VoltageReduction::VR20, 300, 3);
+    let ia = StatModel::instruction_aware(bank, spec, VoltageReduction::VR20, 300, 3).unwrap();
     let json = serde_json::to_string(&ia).expect("serialize");
     let back: StatModel = serde_json::from_str(&json).expect("deserialize");
     for op in FpOp::all() {
@@ -234,7 +237,7 @@ fn mask_sampling_variants_behave() {
     use rand::SeedableRng;
     let (bank, spec) = bank();
     let op = FpOp::new(FpOpKind::Mul, Precision::Double);
-    let ia = StatModel::instruction_aware(bank, spec, VoltageReduction::VR20, 1500, 11);
+    let ia = StatModel::instruction_aware(bank, spec, VoltageReduction::VR20, 1500, 11).unwrap();
     if ia.error_ratio(op) == 0.0 {
         return; // nothing to sample at this calibration
     }

@@ -38,4 +38,6 @@ pub use func::FuncCore;
 pub use mem::{MemFault, Memory, PAGE_BYTES};
 pub use ooo::{FpTimelineEvent, OooConfig, OooCore, OooStats};
 pub use sem::{write_kind, DestKind};
-pub use snapshot::{CheckpointPool, CheckpointRecorder, InjectedExit, InjectedRun, Snapshot};
+pub use snapshot::{
+    CheckpointPool, CheckpointRecorder, InjectedExit, InjectedRun, Snapshot, StaleCoreError,
+};

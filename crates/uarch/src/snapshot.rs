@@ -83,6 +83,27 @@ impl Snapshot {
     }
 }
 
+/// Checkpoint recording was started on a core that already executed
+/// instructions, so the pristine base memory image is unavailable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleCoreError {
+    /// Instructions the core had already retired.
+    pub instructions: u64,
+}
+
+impl std::fmt::Display for StaleCoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "checkpoint recording must start on a fresh core, but {} \
+             instructions were already retired",
+            self.instructions
+        )
+    }
+}
+
+impl std::error::Error for StaleCoreError {}
+
 /// Records golden-run checkpoints every `interval` dynamic FP operations,
 /// thinning adaptively so the pool never exceeds [`MAX_SNAPSHOTS`].
 #[derive(Debug)]
@@ -97,26 +118,41 @@ impl CheckpointRecorder {
     /// Start recording on a fresh core (captures the base memory image and
     /// the initial checkpoint). `interval` of 0 selects the auto policy.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the core has already executed instructions — the base
-    /// image must be the pristine initial memory.
-    pub fn new(core: &FuncCore, interval: u64) -> Self {
-        assert_eq!(
-            core.instructions(),
-            0,
-            "checkpoint recording must start on a fresh core"
-        );
+    /// [`StaleCoreError`] if the core has already executed instructions —
+    /// the base image must be the pristine initial memory. Campaign
+    /// orchestrators surface this as a run-level failure instead of
+    /// tearing down the process.
+    pub fn try_new(core: &FuncCore, interval: u64) -> Result<Self, StaleCoreError> {
+        if core.instructions() != 0 {
+            return Err(StaleCoreError {
+                instructions: core.instructions(),
+            });
+        }
         let interval = if interval == 0 {
             DEFAULT_INTERVAL
         } else {
             interval
         };
-        CheckpointRecorder {
+        Ok(CheckpointRecorder {
             base: core.mem.as_bytes().to_vec(),
             snaps: vec![Snapshot::capture(core)],
             interval,
             next_mark: interval,
+        })
+    }
+
+    /// [`CheckpointRecorder::try_new`] for contexts where a stale core is
+    /// a caller bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core has already executed instructions.
+    pub fn new(core: &FuncCore, interval: u64) -> Self {
+        match Self::try_new(core, interval) {
+            Ok(rec) => rec,
+            Err(e) => panic!("{e}"),
         }
     }
 

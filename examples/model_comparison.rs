@@ -5,11 +5,11 @@
 //! cargo run --release --example model_comparison
 //! ```
 
-use tei::core::{campaign, dev, DaModel, InjectionModel, StatModel};
+use tei::core::{campaign, dev, DaModel, InjectionModel, StatModel, TeiError};
 use tei::timing::VoltageReduction;
 use tei::workloads::{build, BenchmarkId, Scale};
 
-fn main() {
+fn main() -> Result<(), TeiError> {
     let mem = 8 << 20;
     let vr = VoltageReduction::VR20;
     println!("generating the calibrated FPU bank ...");
@@ -17,7 +17,7 @@ fn main() {
 
     let bench = build(BenchmarkId::Sobel, Scale::Test);
     println!("benchmark: {} ({})", bench.id, bench.input_desc);
-    let golden = campaign::GoldenRun::capture(&bench, mem, u64::MAX);
+    let golden = campaign::GoldenRun::capture(&bench, mem, u64::MAX)?;
     println!(
         "golden run: {} instructions, {} FP ops, {} cycles (detailed)",
         golden.instructions, golden.fp_ops, golden.cycles
@@ -26,8 +26,8 @@ fn main() {
     // Model development.
     let samples = 4000;
     let trace = dev::TraceSet::capture(&bench.program, mem, u64::MAX, samples);
-    let wa = StatModel::workload_aware(&bank, &spec, vr, &trace, samples);
-    let ia = StatModel::instruction_aware(&bank, &spec, vr, samples, 1);
+    let wa = StatModel::workload_aware(&bank, &spec, vr, &trace, samples)?;
+    let ia = StatModel::instruction_aware(&bank, &spec, vr, samples, 1)?;
     let da = DaModel::from_fixed(vr, 1e-2); // the paper's published VR20 ratio
 
     // Application evaluation.
@@ -60,4 +60,5 @@ fn main() {
     println!("\nThe data-agnostic model injects at its fixed ratio regardless of what");
     println!("this workload's operands can actually excite — the divergence the");
     println!("paper quantifies at ~250× on average (Figure 10).");
+    Ok(())
 }

@@ -5,11 +5,11 @@
 //! cargo run --release --example voltage_sweep [benchmark]
 //! ```
 
-use tei::core::{campaign, dev, power, StatModel};
+use tei::core::{campaign, dev, power, StatModel, TeiError};
 use tei::timing::VoltageReduction;
 use tei::workloads::{build, BenchmarkId, Scale};
 
-fn main() {
+fn main() -> Result<(), TeiError> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "k-means".into());
     let id = BenchmarkId::all()
         .into_iter()
@@ -22,7 +22,7 @@ fn main() {
     println!("generating the calibrated FPU bank ...");
     let (bank, spec) = dev::default_bank();
     let bench = build(id, Scale::Test);
-    let golden = campaign::GoldenRun::capture(&bench, mem, u64::MAX);
+    let golden = campaign::GoldenRun::capture(&bench, mem, u64::MAX)?;
     let samples = 4000;
     let trace = dev::TraceSet::capture(&bench.program, mem, u64::MAX, samples);
 
@@ -41,7 +41,7 @@ fn main() {
     let mut avm_points = Vec::new();
     for pct in [5usize, 10, 12, 15, 18, 20, 22] {
         let vr = VoltageReduction::Custom(pct as f64 / 100.0);
-        let wa = StatModel::workload_aware(&bank, &spec, vr, &trace, samples);
+        let wa = StatModel::workload_aware(&bank, &spec, vr, &trace, samples)?;
         let er = campaign::model_error_ratio(&wa, &golden);
         let r = campaign::run_campaign(id.name(), &golden, &wa, &cfg);
         println!(
@@ -61,4 +61,5 @@ fn main() {
         choice.vdd(),
         100.0 * power::power_savings(choice)
     );
+    Ok(())
 }

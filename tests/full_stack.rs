@@ -49,11 +49,11 @@ fn end_to_end_campaign_smoke() {
     let (bank, spec) = dev::default_bank();
     let bench = build(BenchmarkId::Is, Scale::Test);
     let mem = 8 << 20;
-    let golden = campaign::GoldenRun::capture(&bench, mem, u64::MAX);
+    let golden = campaign::GoldenRun::capture(&bench, mem, u64::MAX).unwrap();
     assert!(golden.fp_ops > 1000, "is is FP-heavy");
 
     let trace = dev::TraceSet::capture(&bench.program, mem, u64::MAX, 1200);
-    let wa = StatModel::workload_aware(&bank, &spec, VoltageReduction::VR20, &trace, 1200);
+    let wa = StatModel::workload_aware(&bank, &spec, VoltageReduction::VR20, &trace, 1200).unwrap();
     let da = DaModel::from_fixed(VoltageReduction::VR20, 1e-2);
     let cfg = campaign::CampaignConfig {
         runs: 30,
@@ -74,7 +74,7 @@ fn end_to_end_campaign_smoke() {
 #[test]
 fn campaign_outcomes_are_deterministic() {
     let bench = build(BenchmarkId::Sobel, Scale::Test);
-    let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX);
+    let golden = campaign::GoldenRun::capture(&bench, 8 << 20, u64::MAX).unwrap();
     let da = DaModel::from_fixed(VoltageReduction::VR20, 1e-2);
     let cfg = campaign::CampaignConfig {
         runs: 40,
@@ -100,6 +100,6 @@ fn umbrella_reexports_are_usable() {
         2.0f64.to_bits(),
     );
     assert_eq!(f64::from_bits(s), 3.0);
-    assert_eq!(tei::core::stats::sample_size(0.03, 0.95), 1068);
+    assert_eq!(tei::core::stats::sample_size(0.03, 0.95).unwrap(), 1068);
     assert!((tei::core::power::power_savings(VoltageReduction::VR20) - 0.56).abs() < 0.01);
 }
