@@ -8,7 +8,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Instant;
-use tei_core::dev::{dta_campaign_with_threads, random_operand_pairs};
+use tei_core::dev::{
+    dta_campaign_tuned, dta_campaign_with_threads, random_operand_pairs, safe_bit_counts, DtaTuning,
+};
 use tei_fpu::{FpuTimingSpec, FpuUnit};
 use tei_softfloat::{FpOp, FpOpKind, Precision};
 use tei_timing::{ArrivalKernel, ArrivalSim, TwoVectorResult, VoltageReduction, WINDOW_VECTORS};
@@ -101,6 +103,20 @@ fn bench_dta_throughput(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("campaign_threads", threads), |b| {
         b.iter(|| dta_campaign_with_threads(&unit, &pairs, spec.clk, &LEVELS, threads));
     });
+    group.bench_function(BenchmarkId::from_parameter("campaign_1_unpruned"), |b| {
+        b.iter(|| {
+            dta_campaign_tuned(
+                &unit,
+                &pairs,
+                spec.clk,
+                &LEVELS,
+                1,
+                DtaTuning {
+                    prune_safe_bits: false,
+                },
+            )
+        });
+    });
     group.finish();
 
     // Machine-readable summary (measured mode only, so `cargo test`
@@ -125,12 +141,33 @@ fn bench_dta_throughput(c: &mut Criterion) {
         },
         min_secs,
     );
+    // Pruning ablation: the same serial campaign with the slack-oracle
+    // safe-bit pruning disabled (every output bit scanned per level).
+    let campaign_unpruned = pairs_per_sec(
+        || {
+            criterion::black_box(dta_campaign_tuned(
+                &unit,
+                &pairs,
+                spec.clk,
+                &LEVELS,
+                1,
+                DtaTuning {
+                    prune_safe_bits: false,
+                },
+            ));
+            pairs.len() - 1
+        },
+        min_secs,
+    );
     let speedup = kernel_rate / sim_rate;
     let scaling = campaign_n / campaign_1;
+    let pruning_speedup = campaign_1 / campaign_unpruned;
+    let safe_bits = safe_bit_counts(&unit, spec.clk, &LEVELS);
     println!(
         "dta_throughput summary: sim {sim_rate:.0} pairs/s, kernel {kernel_rate:.0} pairs/s \
          ({speedup:.1}x), campaign x1 {campaign_1:.0} -> x{threads} {campaign_n:.0} \
-         pairs/s ({scaling:.1}x)"
+         pairs/s ({scaling:.1}x), unpruned x1 {campaign_unpruned:.0} pairs/s \
+         (pruning {pruning_speedup:.2}x, safe bits {safe_bits:?})"
     );
     if measured {
         let report = serde_json::json!({
@@ -145,6 +182,11 @@ fn bench_dta_throughput(c: &mut Criterion) {
             "campaign_1_thread_pairs_per_sec": campaign_1,
             "campaign_n_thread_pairs_per_sec": campaign_n,
             "campaign_scaling": scaling,
+            "pruning": serde_json::json!({
+                "campaign_1_thread_unpruned_pairs_per_sec": campaign_unpruned,
+                "pruning_speedup": pruning_speedup,
+                "safe_bits_per_level": safe_bits,
+            }),
         });
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dta.json");
         let text = serde_json::to_string_pretty(&report).expect("serialize bench report");

@@ -24,6 +24,10 @@
 //! SIGINT/SIGTERM, and resumes interrupted sweeps with final
 //! [`OutcomeCounts`] byte-identical to an uninterrupted campaign.
 
+// Orchestration must degrade to typed errors, never panic mid-sweep
+// (clippy.toml bans the panicking extractors here).
+#![deny(clippy::disallowed_methods)]
+
 use crate::error::TeiError;
 use crate::journal::{fnv64, CampaignManifest, Journal, JournalResume, RecordedOutcome, RunRecord};
 use crate::models::InjectionModel;

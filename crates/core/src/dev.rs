@@ -12,7 +12,7 @@ use tei_fpu::{FpuBank, FpuTimingSpec, FpuUnit};
 use tei_isa::Program;
 use tei_netlist::NetId;
 use tei_softfloat::{FpOp, FpOpKind};
-use tei_timing::{ArrivalKernel, VoltageReduction, WINDOW_VECTORS};
+use tei_timing::{ArrivalKernel, CompiledNetlist, VoltageReduction, WINDOW_VECTORS};
 use tei_uarch::FuncCore;
 
 /// Per-operation operand trace: consecutive `(a, b)` raw-bit pairs in
@@ -202,10 +202,75 @@ impl OpErrorStats {
 /// over-weight early-trace behavior).
 const MASK_CAP: usize = 50_000;
 
+/// Tuning knobs of the DTA campaign inner loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DtaTuning {
+    /// Skip the settle-time threshold for output bits the static slack
+    /// oracle proves safe at a corner (`static bound × derating ≤ clk`).
+    ///
+    /// The skip is exact, not approximate: dynamic settle times never
+    /// exceed the static bound (the `sanitize-arrivals` feature asserts
+    /// this), and the campaign's nominal clamp only lowers them further,
+    /// so a statically-safe bit can never contribute to an error mask.
+    /// Disabling this exists for the `pruning` bench ablation.
+    pub prune_safe_bits: bool,
+}
+
+impl Default for DtaTuning {
+    fn default() -> Self {
+        DtaTuning {
+            prune_safe_bits: true,
+        }
+    }
+}
+
+/// Per-corner live output bits: the `(bit, net)` pairs the inner loop
+/// must actually threshold. With pruning on, bits whose static arrival
+/// bound keeps them inside the clock period at that corner are dropped.
+fn live_bits(
+    compiled: &CompiledNetlist,
+    outputs: &[NetId],
+    factors: &[f64],
+    clk: f64,
+    tuning: DtaTuning,
+) -> Vec<Vec<(usize, NetId)>> {
+    factors
+        .iter()
+        .map(|&k| {
+            outputs
+                .iter()
+                .enumerate()
+                .filter(|&(_, &net)| {
+                    !tuning.prune_safe_bits || compiled.static_bound(net) * k > clk
+                })
+                .map(|(bit, &net)| (bit, net))
+                .collect()
+        })
+        .collect()
+}
+
+/// Output bits per VR level that the static slack oracle proves safe for
+/// `unit` at clock period `clk` — the work [`DtaTuning::prune_safe_bits`]
+/// removes from every transition of a campaign.
+pub fn safe_bit_counts(unit: &FpuUnit, clk: f64, levels: &[VoltageReduction]) -> Vec<usize> {
+    let compiled = unit.dta_compiled();
+    let outputs = unit.result_port();
+    levels
+        .iter()
+        .map(|vr| {
+            let k = vr.derating_factor();
+            outputs
+                .iter()
+                .filter(|&&net| compiled.static_bound(net) * k <= clk)
+                .count()
+        })
+        .collect()
+}
+
 /// Per-transition stats accumulation shared by the full and sampled
 /// campaigns (and every shard of the parallel paths): threshold the
-/// settle time of each output bit at every requested corner and update
-/// counts, the mask library, and the flip histogram.
+/// settle time of each live output bit at every requested corner and
+/// update counts, the mask library, and the flip histogram.
 ///
 /// At the nominal corner the fabricated design meets timing by
 /// construction, so settle times beyond the clock (γ-calibration tail
@@ -215,19 +280,37 @@ const MASK_CAP: usize = 50_000;
 fn accumulate_transition(
     stats: &mut [OpErrorStats],
     factors: &[f64],
+    live: &[Vec<(usize, NetId)>],
     outputs: &[NetId],
     clk: f64,
     kernel: &ArrivalKernel,
 ) {
-    for (s, &k) in stats.iter_mut().zip(factors) {
+    #[cfg(not(feature = "sanitize-arrivals"))]
+    let _ = outputs;
+    for ((s, &k), bits) in stats.iter_mut().zip(factors).zip(live) {
         s.samples += 1;
         let mut mask = 0u64;
-        for (bit, &net) in outputs.iter().enumerate() {
+        for &(bit, net) in bits {
             let settle = kernel.settle_of(net).min(clk); // nominal clamp
             if settle * k > clk {
                 mask |= 1 << bit;
                 s.bit_errors[bit] += 1;
             }
+        }
+        // Cross-check the pruned mask against the full bit scan: the
+        // static oracle must never have removed an erring bit.
+        #[cfg(feature = "sanitize-arrivals")]
+        {
+            let mut full = 0u64;
+            for (bit, &net) in outputs.iter().enumerate() {
+                if kernel.settle_of(net).min(clk) * k > clk {
+                    full |= 1 << bit;
+                }
+            }
+            assert_eq!(
+                full, mask,
+                "sanitize-arrivals: safe-bit pruning changed an error mask"
+            );
         }
         if mask != 0 {
             s.faulty += 1;
@@ -308,12 +391,28 @@ pub fn dta_campaign_with_threads(
     levels: &[VoltageReduction],
     threads: usize,
 ) -> Vec<OpErrorStats> {
+    dta_campaign_tuned(unit, pairs, clk, levels, threads, DtaTuning::default())
+}
+
+/// [`dta_campaign_with_threads`] with explicit [`DtaTuning`]. Tuning
+/// never changes the produced statistics — only how much work the inner
+/// loop performs; the default (safe-bit pruning on) is what every other
+/// entry point uses.
+pub fn dta_campaign_tuned(
+    unit: &FpuUnit,
+    pairs: &[(u64, u64)],
+    clk: f64,
+    levels: &[VoltageReduction],
+    threads: usize,
+    tuning: DtaTuning,
+) -> Vec<OpErrorStats> {
     let outputs = unit.result_port().to_vec();
     if pairs.len() < 2 {
         return empty_stats(unit, levels, outputs.len());
     }
     let compiled = unit.dta_compiled();
     let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
+    let live = live_bits(compiled, &outputs, &factors, clk, tuning);
 
     // Transition t (1-based) is pairs[t-1] → pairs[t]; shard the
     // transition range contiguously, each shard re-establishing circuit
@@ -336,7 +435,7 @@ pub fn dta_campaign_with_threads(
             kernel.load_window(compiled, &flat[..count * width], count);
             for t in 0..count - 1 {
                 kernel.select_transition(compiled, t);
-                accumulate_transition(&mut stats, &factors, &outputs, clk, &kernel);
+                accumulate_transition(&mut stats, &factors, &live, &outputs, clk, &kernel);
             }
             start += count - 1;
         }
@@ -402,6 +501,7 @@ pub fn dta_campaign_sampled_with_threads(
     let outputs = unit.result_port().to_vec();
     let compiled = unit.dta_compiled();
     let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
+    let live = live_bits(compiled, &outputs, &factors, clk, DtaTuning::default());
 
     let width = unit.input_width();
     let run_shard = |slice: &[usize]| -> Vec<OpErrorStats> {
@@ -426,7 +526,7 @@ pub fn dta_campaign_sampled_with_threads(
             kernel.load_window(compiled, &flat[..count * width], count);
             for j in 0..chunk.len() {
                 kernel.select_transition(compiled, 2 * j);
-                accumulate_transition(&mut stats, &factors, &outputs, clk, &kernel);
+                accumulate_transition(&mut stats, &factors, &live, &outputs, clk, &kernel);
             }
         }
         stats
@@ -583,6 +683,25 @@ pub fn calibrate_da(
             .map(|(&vr, &(f, n))| (vr, if n == 0 { 0.0 } else { f as f64 / n as f64 }))
             .collect(),
     })
+}
+
+/// Run the structural netlist lints over every unit of a bank, so a
+/// campaign can refuse to characterize a broken design up front.
+///
+/// # Errors
+///
+/// [`TeiError::NetlistLint`] naming the first unit with findings.
+pub fn lint_bank(bank: &FpuBank) -> Result<(), TeiError> {
+    for unit in bank.iter() {
+        let diagnostics = tei_netlist::lint_netlist(unit.netlist());
+        if !diagnostics.is_empty() {
+            return Err(TeiError::NetlistLint {
+                design: unit.tag().to_string(),
+                diagnostics,
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Generate (or regenerate) the calibrated FPU bank used across the

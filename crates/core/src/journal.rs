@@ -28,6 +28,10 @@
 //! so replaying the journal reconstructs the exact partial
 //! [`OutcomeCounts`](crate::campaign::OutcomeCounts).
 
+// Orchestration must degrade to typed errors, never panic mid-sweep
+// (clippy.toml bans the panicking extractors here).
+#![deny(clippy::disallowed_methods)]
+
 use crate::campaign::Outcome;
 use crate::error::TeiError;
 use serde::{Deserialize, Serialize};
@@ -532,6 +536,9 @@ impl Journal {
 
 #[cfg(test)]
 mod tests {
+    // Tests should panic loudly, not thread errors.
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     fn manifest() -> CampaignManifest {

@@ -2,6 +2,10 @@
 //! data-agnostic (DA), instruction-aware (IA), and the proposed
 //! instruction- and workload-aware (WA) model.
 
+// Orchestration must degrade to typed errors, never panic mid-sweep
+// (clippy.toml bans the panicking extractors here).
+#![deny(clippy::disallowed_methods)]
+
 use crate::dev::{
     dta_campaign_with_threads, per_op_parallel, random_operand_pairs, DaCalibration, OpErrorStats,
     TraceSet,
@@ -228,12 +232,46 @@ impl StatModel {
         })?
         .into_iter()
         .collect::<Result<_, _>>()?;
+        #[cfg(feature = "sanitize-arrivals")]
+        Self::sanitize_masks_against_oracle(bank, spec, &stats);
         Ok(Self::from_stats(
             ModelKind::Ia,
             vr,
             MaskSampling::default(),
             &stats,
         ))
+    }
+
+    /// Cross-layer sanitizer: no error mask a campaign observed may
+    /// touch an output bit the static slack oracle proves safe — the
+    /// model layer's independent restatement of the pruning soundness
+    /// argument (see DESIGN.md, "Static verification").
+    #[cfg(feature = "sanitize-arrivals")]
+    fn sanitize_masks_against_oracle(bank: &FpuBank, spec: &FpuTimingSpec, stats: &[OpErrorStats]) {
+        use tei_timing::SlackOracle;
+        for s in stats {
+            let unit = bank.unit(s.op);
+            let compiled = unit.dta_compiled();
+            let oracle = SlackOracle::from_bounds(
+                compiled.static_bounds().to_vec(),
+                unit.result_port().to_vec(),
+            );
+            let safe = oracle.safe_bits_at(spec.clk, s.vr.derating_factor());
+            let mut safe_mask = 0u64;
+            for bit in 0..safe.len() {
+                if safe.is_safe(bit) {
+                    safe_mask |= 1 << bit;
+                }
+            }
+            for &m in &s.masks {
+                assert_eq!(
+                    m & safe_mask,
+                    0,
+                    "sanitize-arrivals: {} mask {m:#x} touches statically-safe bits",
+                    s.op
+                );
+            }
+        }
     }
 
     /// Build the workload-aware model: DTA over the operand trace of the
@@ -262,6 +300,8 @@ impl StatModel {
         })?
         .into_iter()
         .collect::<Result<_, _>>()?;
+        #[cfg(feature = "sanitize-arrivals")]
+        Self::sanitize_masks_against_oracle(bank, spec, &stats);
         Ok(Self::from_stats(
             ModelKind::Wa,
             vr,
@@ -324,6 +364,9 @@ impl InjectionModel for StatModel {
 
 #[cfg(test)]
 mod tests {
+    // Tests should panic loudly, not thread errors.
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -5,7 +5,8 @@
 //! compare equal exactly.
 
 use tei_core::dev::{
-    dta_campaign_sampled_with_threads, dta_campaign_with_threads, random_operand_pairs,
+    dta_campaign_sampled_with_threads, dta_campaign_tuned, dta_campaign_with_threads,
+    random_operand_pairs, safe_bit_counts, DtaTuning,
 };
 use tei_fpu::{FpuTimingSpec, FpuUnit};
 use tei_softfloat::{FpOp, FpOpKind, Precision};
@@ -59,6 +60,37 @@ fn parallel_sampled_campaign_equals_serial_byte_for_byte() {
             "{threads}-thread sampled campaign diverged from serial"
         );
     }
+}
+
+#[test]
+fn safe_bit_pruning_is_byte_identical_to_full_scan() {
+    let (unit, spec) = test_unit();
+    let pairs = random_operand_pairs(unit.op(), 403, 0xd7a_cafe);
+    let pruned = dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 1);
+    let unpruned = dta_campaign_tuned(
+        unit,
+        &pairs,
+        spec.clk,
+        &LEVELS,
+        1,
+        DtaTuning {
+            prune_safe_bits: false,
+        },
+    );
+    assert_eq!(
+        serde_json::to_string(&pruned).expect("serialize pruned"),
+        serde_json::to_string(&unpruned).expect("serialize unpruned"),
+        "pruning must not change any statistic"
+    );
+    // The pruning must actually remove work at these corners for the
+    // throughput claim in BENCH_dta.json to mean anything.
+    let safe = safe_bit_counts(unit, spec.clk, &LEVELS);
+    assert!(
+        safe.iter().any(|&n| n > 0),
+        "oracle proves no bits safe — pruning is vacuous: {safe:?}"
+    );
+    // Safer bits at the milder voltage reduction: VR15 derates less.
+    assert!(safe[0] >= safe[1], "VR15 {} < VR20 {}", safe[0], safe[1]);
 }
 
 #[test]

@@ -149,6 +149,12 @@ impl FpuUnit {
         let max = sta.max_delay();
         assert!(max > 0.0, "degenerate datapath for {op}");
         nl.scale_all_delays(spec.target(op) / max);
+        // Sweep logic outside the result cone, as synthesis would before
+        // handoff. The sweep preserves the output cone (and so every
+        // downstream timing result) exactly; it runs after the static
+        // calibration so the scale factor is still derived from the
+        // as-built datapath.
+        let nl = nl.sweep_dead();
         let a_width = nl.input_port(&format!("{tag}/a")).expect("a port").len();
         let b_width = nl.input_port(&format!("{tag}/b")).map_or(0, <[NetId]>::len);
         let mut unit = FpuUnit {

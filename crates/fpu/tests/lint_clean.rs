@@ -1,0 +1,49 @@
+//! The shipped FPU netlists must be structurally clean: every logic
+//! gate reaches an output, every logic gate carries a library delay,
+//! and the Verilog export round-trips through the parser without any
+//! structural finding.
+
+use tei_fpu::{FpuBank, FpuTimingSpec};
+use tei_netlist::{lint_module, lint_netlist, parse_verilog, to_verilog};
+
+#[test]
+fn every_unit_is_lint_clean() {
+    let bank = FpuBank::generate(&FpuTimingSpec::paper_calibrated());
+    for unit in bank.iter() {
+        let diags = lint_netlist(unit.netlist());
+        assert!(
+            diags.is_empty(),
+            "{:?}: {}",
+            unit.op(),
+            diags
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        let dta = unit.dta_netlist();
+        let diags = lint_netlist(&dta);
+        assert!(diags.is_empty(), "{:?} (DTA): {diags:?}", unit.op());
+    }
+}
+
+#[test]
+fn exported_verilog_round_trips_lint_clean() {
+    let bank = FpuBank::generate(&FpuTimingSpec::paper_calibrated());
+    // One representative unit keeps the test fast; the module-level
+    // lints cover what lint_netlist cannot see (port bindings).
+    let unit = bank.iter().next().expect("bank is non-empty");
+    let nl = unit.netlist();
+    let m = parse_verilog(&to_verilog(nl)).expect("export parses back");
+    let diags = lint_module(&m, nl.library());
+    assert!(
+        diags.is_empty(),
+        "{:?}: {}",
+        unit.op(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}

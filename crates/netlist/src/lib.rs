@@ -40,12 +40,14 @@
 mod build;
 mod gate;
 mod library;
+mod lint;
 mod netlist;
 mod stats;
 mod verilog;
 
 pub use gate::{Gate, GateKind};
 pub use library::CellLibrary;
+pub use lint::{lint_module, lint_netlist, LintDiagnostic, LintKind};
 pub use netlist::{bus_value_u128, bus_value_u64, BlockId, NetId, Netlist};
 pub use stats::{BlockStats, NetlistStats};
-pub use verilog::to_verilog;
+pub use verilog::{parse_verilog, to_verilog, ParseError, RawAssign, RawModule, RawNetDecl};

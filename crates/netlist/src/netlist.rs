@@ -307,6 +307,80 @@ impl Netlist {
             .collect()
     }
 
+    /// A copy of this netlist with every logic gate outside the output
+    /// cone removed and nets renumbered densely.
+    ///
+    /// Primary inputs are always kept (input encoding is positional, so
+    /// dropping an unused input bit would shift every caller's vectors);
+    /// constants survive only if something in the cone reads them. The
+    /// surviving gates keep their delays, block attribution, and
+    /// relative (topological) order, and every port is remapped, so any
+    /// static or dynamic timing analysis of the output ports is
+    /// unchanged — only dead logic disappears. This mirrors the
+    /// dead-cell sweep a synthesis flow performs before handoff.
+    #[must_use]
+    pub fn sweep_dead(&self) -> Netlist {
+        let n = self.gates.len();
+        let mut live = vec![false; n];
+        for (_, bus) in &self.output_ports {
+            for b in bus {
+                live[b.index()] = true;
+            }
+        }
+        // Pins only reference earlier nets, so one reverse pass closes
+        // the cone.
+        for i in (0..n).rev() {
+            if live[i] {
+                for p in self.gates[i].fanin() {
+                    live[p.index()] = true;
+                }
+            }
+        }
+        for inp in &self.inputs {
+            live[inp.index()] = true;
+        }
+        let mut remap = vec![NetId(0); n];
+        let mut gates = Vec::with_capacity(live.iter().filter(|&&l| l).count());
+        for (i, g) in self.gates.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            let mut ng = *g;
+            // Remap all three pin slots; slots beyond the arity are
+            // padding whose value is never observed, and the default
+            // remap target (net 0) keeps them in bounds.
+            for p in &mut ng.pins {
+                *p = remap[p.index()];
+            }
+            remap[i] = NetId(gates.len() as u32);
+            gates.push(ng);
+        }
+        let map_bus =
+            |bus: &[NetId]| -> Vec<NetId> { bus.iter().map(|b| remap[b.index()]).collect() };
+        let map_const =
+            |c: Option<NetId>| c.filter(|id| live[id.index()]).map(|id| remap[id.index()]);
+        Netlist {
+            name: self.name.clone(),
+            library: self.library.clone(),
+            inputs: map_bus(&self.inputs),
+            input_ports: self
+                .input_ports
+                .iter()
+                .map(|(n, b)| (n.clone(), map_bus(b)))
+                .collect(),
+            output_ports: self
+                .output_ports
+                .iter()
+                .map(|(n, b)| (n.clone(), map_bus(b)))
+                .collect(),
+            blocks: self.blocks.clone(),
+            current_block: self.current_block,
+            const0: map_const(self.const0),
+            const1: map_const(self.const1),
+            gates,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Evaluation
     // ------------------------------------------------------------------
@@ -466,6 +540,35 @@ mod tests {
         nl.scale_block_delays(fast, 0.5);
         assert!((nl.gate(g1).delay - 0.5).abs() < 1e-12);
         assert!((nl.gate(g2).delay - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_dead_preserves_outputs_and_inputs() {
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let a = nl.add_input_bus("a", 2);
+        let b = nl.add_input_bus("b", 2);
+        let x = nl.add_gate(GateKind::Xor2, &[a[0], b[0]]);
+        // Dead cone: computed, never marked as output.
+        let d1 = nl.add_gate(GateKind::And2, &[a[1], b[1]]);
+        let _d2 = nl.add_gate(GateKind::Not, &[d1]);
+        let y = nl.add_gate(GateKind::Or2, &[x, a[1]]);
+        nl.mark_output_bus("y", &[y]);
+        let swept = nl.sweep_dead();
+        assert_eq!(swept.len(), nl.len() - 2, "two dead gates removed");
+        assert_eq!(swept.inputs().len(), 4, "unused inputs survive");
+        for (av, bv) in [(0u64, 0u64), (1, 3), (2, 1), (3, 3)] {
+            assert_eq!(
+                nl.eval_u64(&[("a", av), ("b", bv)]),
+                swept.eval_u64(&[("a", av), ("b", bv)]),
+            );
+        }
+        // Delays and block names survive the renumbering.
+        let oy = swept.output_port("y").expect("port")[0];
+        assert_eq!(swept.gate(oy).kind, GateKind::Or2);
+        assert_eq!(swept.gate(oy).delay, nl.gate(y).delay);
+        assert_eq!(swept.block_names(), nl.block_names());
+        // Sweeping an already-clean netlist is the identity on size.
+        assert_eq!(swept.sweep_dead().len(), swept.len());
     }
 
     #[test]

@@ -1,0 +1,22 @@
+// Deliberately defective netlist for the `tei lint` golden test.
+// Seeded defects:
+//   * floating net      — `ghost[0]` is read but never driven
+//   * combinational loop — n[2] and n[3] feed each other
+//   * multi-driver net  — n[4] is assigned twice
+//   * unreachable gate  — n[5] drives nothing on the path to `y`
+module broken (
+  input  wire [1:0] a,
+  output wire [0:0] y
+);
+  wire [6:0] n;
+  wire [0:0] ghost;
+  assign n[0] = a[0]; // Buf 0.045 ns input
+  assign n[1] = a[1]; // Buf 0.045 ns input
+  assign n[2] = n[3] & n[0]; // And2 0.080 ns loop
+  assign n[3] = n[2] | n[1]; // Or2 0.075 ns loop
+  assign n[4] = n[0] ^ ghost[0]; // Xor2 0.110 ns floating fanin
+  assign n[4] = ~n[1]; // Not 0.050 ns second driver
+  assign n[5] = n[0] & n[1]; // And2 0.080 ns dead
+  assign n[6] = n[4] | n[2]; // Or2 0.075 ns
+  assign y[0] = n[6]; // Buf 0.045 ns output
+endmodule

@@ -2,6 +2,7 @@
 
 use crate::derating::{DeratingModel, OperatingPoint};
 use crate::event::{EventSim, FanoutTable};
+use crate::oracle::{SafeBitSet, SlackOracle};
 use crate::sim::{ArrivalSim, TwoVectorResult};
 use serde::{Deserialize, Serialize};
 use tei_netlist::{NetId, Netlist};
@@ -68,6 +69,9 @@ pub struct DtaEngine {
     derating: DeratingModel,
     engine: TimingEngine,
     outputs: Vec<NetId>,
+    /// Static per-net arrival bounds; lets the arrival path skip the
+    /// latched-value computation for provably safe output bits.
+    oracle: SlackOracle,
 }
 
 impl DtaEngine {
@@ -75,13 +79,26 @@ impl DtaEngine {
     pub fn new(netlist: Netlist, engine: TimingEngine, derating: DeratingModel) -> Self {
         let fanouts = FanoutTable::build(&netlist);
         let outputs = netlist.output_nets();
+        let oracle = SlackOracle::analyze(&netlist);
         DtaEngine {
             netlist,
             fanouts,
             derating,
             engine,
             outputs,
+            oracle,
         }
+    }
+
+    /// The static slack oracle built over the engine's netlist.
+    pub fn oracle(&self) -> &SlackOracle {
+        &self.oracle
+    }
+
+    /// Classify the output bits at `op` under the engine's derating
+    /// model (uniform models only; see [`SlackOracle::safe_bits`]).
+    pub fn safe_bits(&self, op: OperatingPoint) -> SafeBitSet {
+        self.oracle.safe_bits(op, &self.derating)
     }
 
     /// The analyzed netlist.
@@ -101,12 +118,59 @@ impl DtaEngine {
 
     /// Analyze one `prev → cur` input transition at operating point `op`.
     pub fn analyze(&self, prev: &[bool], cur: &[bool], op: OperatingPoint) -> DtaOutcome {
-        match self.engine {
+        let out = match self.engine {
             TimingEngine::Arrival => {
                 let mut buf = TwoVectorResult::default();
                 self.analyze_arrival_into(prev, cur, op, &mut buf)
             }
             TimingEngine::EventDriven => self.analyze_event(prev, cur, op),
+        };
+        #[cfg(feature = "sanitize-arrivals")]
+        self.sanitize_cross_check(prev, cur, op, &out);
+        out
+    }
+
+    /// Sanitizer: run the *other* engine on the same transition and
+    /// check the invariants that hold between them. Golden (steady
+    /// state) values must agree bit for bit; the arrival engine's
+    /// settle times must dominate the event engine's last-transition
+    /// times (the arrival engine is conservative). Latched values may
+    /// legitimately differ — glitches are visible only to the event
+    /// engine — so they are not compared. Uniform derating only: a
+    /// jitter model has no arrival-engine counterpart.
+    #[cfg(feature = "sanitize-arrivals")]
+    fn sanitize_cross_check(
+        &self,
+        prev: &[bool],
+        cur: &[bool],
+        op: OperatingPoint,
+        out: &DtaOutcome,
+    ) {
+        if !self.derating.is_uniform() {
+            return;
+        }
+        let factor = self.derating.factor_for(op.vdd, 0);
+        let mut buf = TwoVectorResult::default();
+        ArrivalSim::run_into(&self.netlist, prev, cur, &mut buf);
+        let delays = EventSim::derated_delays(&self.netlist, factor);
+        let ev = EventSim::run(&self.netlist, &self.fanouts, prev, cur, &delays, op.clk);
+        for (bit, &n) in self.outputs.iter().enumerate() {
+            let i = n.index();
+            assert_eq!(
+                buf.cur[i], ev.final_values[i],
+                "sanitize-arrivals: engines disagree on golden bit {bit} (net n{i})"
+            );
+            assert_eq!(
+                out.golden[bit], buf.cur[i],
+                "sanitize-arrivals: reported golden bit {bit} (net n{i}) is not the steady state"
+            );
+            assert!(
+                buf.settle[i] * factor >= ev.last_transition[i] - 1e-9,
+                "sanitize-arrivals: arrival settle {} under-estimates event time {} \
+                 at bit {bit} (net n{i})",
+                buf.settle[i] * factor,
+                ev.last_transition[i]
+            );
         }
     }
 
@@ -131,12 +195,33 @@ impl DtaEngine {
 
     /// Re-threshold an already-computed arrival result at another corner.
     /// Valid only for uniform derating (the default).
+    ///
+    /// Output bits the slack oracle proves safe at `(clk, factor)` skip
+    /// the settle-time threshold: their latched value *is* the golden
+    /// value (the derated worst-case arrival meets the clock edge, so
+    /// the settle time — which the static bound dominates — cannot
+    /// exceed it either). The pruned outcome is bit-identical to the
+    /// unpruned one.
     pub fn outcome_from_arrival(&self, buf: &TwoVectorResult, clk: f64, factor: f64) -> DtaOutcome {
         let golden: Vec<bool> = self.outputs.iter().map(|n| buf.cur[n.index()]).collect();
         let latched: Vec<bool> = self
             .outputs
             .iter()
-            .map(|n| buf.latched(*n, clk, factor))
+            .map(|&n| {
+                if self.oracle.is_safe(n, clk, factor) {
+                    let v = buf.cur[n.index()];
+                    #[cfg(feature = "sanitize-arrivals")]
+                    assert_eq!(
+                        v,
+                        buf.latched(n, clk, factor),
+                        "sanitize-arrivals: statically-safe net n{} latched stale",
+                        n.index()
+                    );
+                    v
+                } else {
+                    buf.latched(n, clk, factor)
+                }
+            })
             .collect();
         let mask = golden.iter().zip(&latched).map(|(g, l)| g != l).collect();
         DtaOutcome {
@@ -239,6 +324,42 @@ mod tests {
         let k = AlphaPowerLaw::default().factor(0.935);
         let rethresh = eng.outcome_from_arrival(&buf, 4.8, k);
         assert_eq!(direct, rethresh);
+    }
+
+    /// Pruned outcomes (safe bits short-circuited through the oracle)
+    /// must equal the unpruned per-bit threshold at every corner,
+    /// including corners where some bits are safe and some are not.
+    #[test]
+    fn safe_bit_pruning_is_bit_identical() {
+        let mut nl = Netlist::new("lop", CellLibrary::unit());
+        let a = nl.add_input_bit();
+        let shallow = nl.buf(a);
+        let mut deep = a;
+        for _ in 0..6 {
+            deep = nl.not(deep);
+        }
+        nl.mark_output_bus("o", &[shallow, deep]);
+        let eng = DtaEngine::new(nl, TimingEngine::Arrival, DeratingModel::default());
+        let mut buf = TwoVectorResult::default();
+        for &(vdd, clk) in &[(1.1, 10.0), (0.935, 4.0), (0.88, 6.0), (0.88, 2.0)] {
+            let op = OperatingPoint { vdd, clk };
+            let out = eng.analyze_arrival_into(&[false], &[true], op, &mut buf);
+            let k = AlphaPowerLaw::default().factor(vdd);
+            let set = eng.safe_bits(op);
+            // Unpruned reference straight off the arrival buffer.
+            for (bit, &n) in eng.outputs().iter().enumerate() {
+                assert_eq!(
+                    out.latched[bit],
+                    buf.latched(n, clk, k),
+                    "bit {bit} at vdd {vdd} clk {clk} (safe: {})",
+                    set.is_safe(bit)
+                );
+            }
+            // A bit the oracle calls safe must never carry an error.
+            for (bit, &m) in out.mask.iter().enumerate() {
+                assert!(!(set.is_safe(bit) && m), "safe bit {bit} flagged");
+            }
+        }
     }
 
     #[test]

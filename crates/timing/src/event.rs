@@ -176,6 +176,32 @@ impl EventSim {
         }
 
         let latched = latched.unwrap_or_else(|| values.clone());
+        // Sanitizer: every event time is a sum of path delays from the
+        // `delays` table, so the last transition of a net cannot exceed
+        // the static worst-case arrival computed over the same table.
+        #[cfg(feature = "sanitize-arrivals")]
+        {
+            let mut bound = vec![0.0f64; nl.len()];
+            for (i, g) in nl.gates().iter().enumerate() {
+                if g.kind == tei_netlist::GateKind::Input {
+                    continue;
+                }
+                let worst = g
+                    .fanin()
+                    .iter()
+                    .map(|p| bound[p.index()])
+                    .fold(0.0f64, f64::max);
+                bound[i] = worst + delays[i];
+            }
+            for i in 0..nl.len() {
+                assert!(
+                    last_transition[i] <= bound[i] + 1e-9,
+                    "sanitize-arrivals: net n{i} last toggled at {} past its static bound {}",
+                    last_transition[i],
+                    bound[i]
+                );
+            }
+        }
         EventSimResult {
             final_values: values,
             latched,

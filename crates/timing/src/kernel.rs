@@ -137,6 +137,14 @@ pub struct CompiledNetlist {
     /// pin to themselves.
     pins: Vec<u32>,
     delays: Vec<f64>,
+    /// Static worst-case arrival bound per net (the [`Sta`] recurrence
+    /// over the compiled delay table): `max(pin bounds) + delay`, with
+    /// inputs and constants at 0. Dynamic settle times never exceed it
+    /// (enforced under `sanitize-arrivals`), which is what lets the
+    /// campaign path prune provably-safe output bits.
+    ///
+    /// [`Sta`]: crate::Sta
+    bounds: Vec<f64>,
     /// Primary input nets in declaration order.
     inputs: Vec<u32>,
     /// CSR offsets into `fanout`; net `i` drives `fanout[off[i]..off[i+1]]`.
@@ -154,6 +162,7 @@ impl CompiledNetlist {
         let mut tt = Vec::with_capacity(n);
         let mut pins = vec![0u32; n * 3];
         let mut delays = Vec::with_capacity(n);
+        let mut bounds = vec![0.0f64; n];
         let mut fanout_count = vec![0u32; n];
 
         for (i, g) in gates.iter().enumerate() {
@@ -185,6 +194,13 @@ impl CompiledNetlist {
                     None => pad,
                 };
             }
+            // Static arrival bound: the Sta recurrence over the compiled
+            // delay table (inputs and constants pinned to 0 above).
+            let worst = fanin
+                .iter()
+                .map(|p| bounds[p.index()])
+                .fold(0.0f64, f64::max);
+            bounds[i] = worst + delays[i];
         }
 
         // Prefix-sum the fanout counts into CSR offsets, then fill.
@@ -210,10 +226,24 @@ impl CompiledNetlist {
             tt,
             pins,
             delays,
+            bounds,
             inputs,
             fanout_off,
             fanout,
         }
+    }
+
+    /// Static worst-case arrival bound of `net` at the nominal corner
+    /// (see the `bounds` field). No dynamic settle time the kernel ever
+    /// reports for `net` exceeds this.
+    #[inline]
+    pub fn static_bound(&self, net: NetId) -> f64 {
+        self.bounds[net.index()]
+    }
+
+    /// All static arrival bounds, indexed by net.
+    pub fn static_bounds(&self) -> &[f64] {
+        &self.bounds
     }
 
     /// Number of nets (== gates) in the compiled design.
@@ -353,6 +383,22 @@ impl ArrivalKernel {
         }
     }
 
+    /// Sanitizer: every settle time computed for the last transition
+    /// must respect the compiled static arrival bound. A violation means
+    /// the kernel's settle fold (or the bound computation) is wrong.
+    #[cfg(feature = "sanitize-arrivals")]
+    fn sanitize_settles(&self, c: &CompiledNetlist) {
+        for &i in &self.changed_list[..self.changed_len] {
+            let i = i as usize;
+            assert!(
+                self.settle[i] <= c.bounds[i] + 1e-9,
+                "sanitize-arrivals: net n{i} settled at {} past its static bound {}",
+                self.settle[i],
+                c.bounds[i]
+            );
+        }
+    }
+
     /// Roll the epoch stamp forward, returning the new epoch.
     fn bump_epoch(&mut self) -> u32 {
         // Epoch u32::MAX is the "never" marker set by reset; wrap before
@@ -434,6 +480,8 @@ impl ArrivalKernel {
             }
             wi += 1;
         }
+        #[cfg(feature = "sanitize-arrivals")]
+        self.sanitize_settles(c);
     }
 
     /// Dense path: two branch-free passes over the gate tables in
@@ -536,6 +584,8 @@ impl ArrivalKernel {
                 self.changed_len += 1;
             }
         }
+        #[cfg(feature = "sanitize-arrivals")]
+        self.sanitize_settles(c);
     }
 
     /// Load a bit-sliced window of up to [`WINDOW_VECTORS`] input
@@ -688,6 +738,8 @@ impl ArrivalKernel {
                 self.changed_len += 1;
             }
         }
+        #[cfg(feature = "sanitize-arrivals")]
+        self.sanitize_settles(c);
     }
 
     /// Steady-state value of `net` under the current input vector.
@@ -1099,6 +1151,52 @@ mod tests {
         k.advance(&c, &[true]);
         assert!(k.latched(x, 0.5, 1.0));
         assert!(!k.latched(x, 1.0, 1.0));
+    }
+
+    /// The compiled static bounds must reproduce `Sta` exactly (same
+    /// recurrence, same delay table) and dominate every dynamic settle
+    /// time the kernel reports — the soundness fact behind safe-bit
+    /// pruning and the `sanitize-arrivals` checks.
+    #[test]
+    fn static_bounds_match_sta_and_dominate_settles() {
+        let mut nl = Netlist::new("t", CellLibrary::nangate45_like());
+        let a = nl.add_input_bus("a", 8);
+        let b = nl.add_input_bus("b", 8);
+        let zero = nl.const_bit(false);
+        let (sum, cout) = nl.ripple_add(&a, &b, zero);
+        nl.mark_output_bus("sum", &sum);
+        nl.mark_output_bus("cout", &[cout]);
+        let c = CompiledNetlist::compile(&nl);
+        let sta = crate::Sta::analyze(&nl);
+        for i in 0..nl.len() {
+            assert_eq!(
+                c.static_bounds()[i].to_bits(),
+                sta.arrivals()[i].to_bits(),
+                "bound[{i}] vs Sta arrival"
+            );
+        }
+        let vec_of = |x: u64, y: u64| -> Vec<bool> {
+            (0..8)
+                .map(|i| (x >> i) & 1 == 1)
+                .chain((0..8).map(|i| (y >> i) & 1 == 1))
+                .collect()
+        };
+        let stream = [(0, 0), (255, 1), (1, 0), (170, 85), (255, 255), (0, 1)];
+        let mut k = ArrivalKernel::new();
+        let mut snap = TwoVectorResult::default();
+        k.reset(&c, &vec_of(stream[0].0, stream[0].1));
+        for w in stream.windows(2) {
+            k.advance(&c, &vec_of(w[1].0, w[1].1));
+            k.snapshot_into(&mut snap);
+            for i in 0..nl.len() {
+                assert!(
+                    snap.settle[i] <= c.static_bounds()[i] + 1e-9,
+                    "settle[{i}] {} exceeds static bound {}",
+                    snap.settle[i],
+                    c.static_bounds()[i]
+                );
+            }
+        }
     }
 
     #[test]

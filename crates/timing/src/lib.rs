@@ -48,6 +48,7 @@ mod derating;
 mod dta;
 mod event;
 mod kernel;
+mod oracle;
 mod sim;
 mod sta;
 mod vcd;
@@ -59,6 +60,7 @@ pub use derating::{
 pub use dta::{DtaEngine, DtaOutcome, TimingEngine};
 pub use event::{EventSim, EventSimResult, FanoutTable};
 pub use kernel::{ArrivalKernel, CompiledNetlist, WINDOW_VECTORS};
+pub use oracle::{SafeBitSet, SlackOracle};
 pub use sim::{ArrivalSim, TwoVectorResult};
 pub use sta::{PathCensus, PathInfo, Sta};
 pub use vcd::{dump_vcd, Change, Waveform};

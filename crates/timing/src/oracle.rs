@@ -1,0 +1,253 @@
+//! Per-bit static slack oracle.
+//!
+//! Conventional STA answers one question — does the whole design meet
+//! timing? — but its per-net arrival times prove something much finer:
+//! any net whose worst-case arrival, inflated by the derating factor of
+//! an operating point, still lands before the capturing clock edge can
+//! *never* latch a stale value at that point, for any input pair. The
+//! dynamic settle time of a net is bounded by its static arrival (the
+//! dynamic fold maximizes over *changed* fanins, a subset of the fanins
+//! STA maximizes over), so `arrival(net) × factor ≤ clk` is a sound
+//! proof of per-bit safety.
+//!
+//! [`SlackOracle`] packages those per-net bounds; [`SafeBitSet`] is the
+//! per-output-bit verdict at one `(clk, factor)` corner. The DTA paths
+//! ([`DtaEngine`](crate::DtaEngine) and the compiled campaign loop in
+//! `tei-core`) consult it to skip settle-time thresholding for provably
+//! safe bits, and the `sanitize-arrivals` feature re-checks every
+//! dynamic arrival against the static bound at runtime.
+
+use crate::derating::{DeratingModel, OperatingPoint, VoltageReduction};
+use crate::sta::Sta;
+use tei_netlist::{NetId, Netlist};
+
+/// Static per-net arrival bounds plus the output bus they gate.
+///
+/// Bounds are nominal-corner worst-case arrivals (identical recurrence
+/// to [`Sta`]); corners are applied at query time by scaling with a
+/// uniform derating factor.
+#[derive(Debug, Clone)]
+pub struct SlackOracle {
+    bounds: Vec<f64>,
+    outputs: Vec<NetId>,
+}
+
+impl SlackOracle {
+    /// Run STA over `nl` and keep its per-net arrivals as bounds; the
+    /// oracle's output bits are the netlist's declared outputs in
+    /// [`Netlist::output_nets`] order.
+    pub fn analyze(nl: &Netlist) -> Self {
+        let sta = Sta::analyze(nl);
+        SlackOracle {
+            bounds: sta.arrivals().to_vec(),
+            outputs: nl.output_nets(),
+        }
+    }
+
+    /// Build from precomputed per-net bounds (e.g. the compiled
+    /// kernel's [`static_bounds`](crate::CompiledNetlist::static_bounds))
+    /// and an explicit output bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output net indexes past `bounds`.
+    pub fn from_bounds(bounds: Vec<f64>, outputs: Vec<NetId>) -> Self {
+        for n in &outputs {
+            assert!(n.index() < bounds.len(), "output net outside bound table");
+        }
+        SlackOracle { bounds, outputs }
+    }
+
+    /// Worst-case static arrival of one net at the nominal corner.
+    pub fn bound(&self, net: NetId) -> f64 {
+        self.bounds[net.index()]
+    }
+
+    /// All per-net bounds, indexed by net.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// The output bits the oracle reasons about, in mask order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Whether `net` is provably safe at clock `clk` with every delay
+    /// inflated by `factor`: its derated worst-case arrival still meets
+    /// the capturing edge, so no input pair can make it latch stale.
+    #[inline]
+    pub fn is_safe(&self, net: NetId, clk: f64, factor: f64) -> bool {
+        self.bounds[net.index()] * factor <= clk
+    }
+
+    /// Classify every output bit at a `(clk, factor)` corner.
+    pub fn safe_bits_at(&self, clk: f64, factor: f64) -> SafeBitSet {
+        let safe: Vec<bool> = self
+            .outputs
+            .iter()
+            .map(|&n| self.is_safe(n, clk, factor))
+            .collect();
+        SafeBitSet::new(safe, &self.outputs)
+    }
+
+    /// Classify every output bit at an operating point under `derating`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-uniform derating models: per-gate jitter has no
+    /// single scale factor, so the static bound would be unsound.
+    pub fn safe_bits(&self, op: OperatingPoint, derating: &DeratingModel) -> SafeBitSet {
+        assert!(
+            derating.is_uniform(),
+            "the slack oracle requires a uniform derating model"
+        );
+        self.safe_bits_at(op.clk, derating.factor_for(op.vdd, 0))
+    }
+
+    /// One [`SafeBitSet`] per voltage-reduction level at clock `clk`
+    /// (the per-VR classification the DTA campaign pruning consumes).
+    pub fn safe_bits_per_level(&self, clk: f64, levels: &[VoltageReduction]) -> Vec<SafeBitSet> {
+        levels
+            .iter()
+            .map(|vr| self.safe_bits_at(clk, vr.derating_factor()))
+            .collect()
+    }
+}
+
+/// Per-output-bit safety verdict at one operating corner: bit `i` is
+/// safe iff no input transition can make output net `i` latch a stale
+/// value there.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SafeBitSet {
+    safe: Vec<bool>,
+    /// `(bit index, net)` of every *unsafe* bit, precomputed so hot
+    /// loops iterate only the bits that still need dynamic evaluation.
+    unsafe_bits: Vec<(usize, NetId)>,
+}
+
+impl SafeBitSet {
+    /// Build from per-bit verdicts and the matching output nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices disagree in length.
+    pub fn new(safe: Vec<bool>, outputs: &[NetId]) -> Self {
+        assert_eq!(safe.len(), outputs.len(), "verdicts per output bit");
+        let unsafe_bits = safe
+            .iter()
+            .zip(outputs)
+            .enumerate()
+            .filter(|(_, (&s, _))| !s)
+            .map(|(bit, (_, &net))| (bit, net))
+            .collect();
+        SafeBitSet { safe, unsafe_bits }
+    }
+
+    /// Number of output bits covered.
+    pub fn len(&self) -> usize {
+        self.safe.len()
+    }
+
+    /// True when the verdict covers no bits.
+    pub fn is_empty(&self) -> bool {
+        self.safe.is_empty()
+    }
+
+    /// Whether output bit `bit` is provably safe.
+    #[inline]
+    pub fn is_safe(&self, bit: usize) -> bool {
+        self.safe[bit]
+    }
+
+    /// Number of provably safe bits.
+    pub fn count_safe(&self) -> usize {
+        self.safe.len() - self.unsafe_bits.len()
+    }
+
+    /// True when every output bit is safe (DTA at this corner can skip
+    /// the transition entirely).
+    pub fn all_safe(&self) -> bool {
+        self.unsafe_bits.is_empty()
+    }
+
+    /// The `(bit index, net)` pairs still needing dynamic evaluation.
+    pub fn unsafe_bits(&self) -> &[(usize, NetId)] {
+        &self.unsafe_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tei_netlist::CellLibrary;
+
+    /// Two outputs of very different depth: a 1-deep buffer and a
+    /// 6-deep inverter chain.
+    fn lopsided() -> Netlist {
+        let mut nl = Netlist::new("lop", CellLibrary::unit());
+        let a = nl.add_input_bit();
+        let shallow = nl.buf(a);
+        let mut deep = a;
+        for _ in 0..6 {
+            deep = nl.not(deep);
+        }
+        nl.mark_output_bus("o", &[shallow, deep]);
+        nl
+    }
+
+    #[test]
+    fn bounds_match_sta_arrivals() {
+        let nl = lopsided();
+        let oracle = SlackOracle::analyze(&nl);
+        let sta = Sta::analyze(&nl);
+        for i in 0..nl.len() {
+            assert_eq!(oracle.bounds()[i].to_bits(), sta.arrivals()[i].to_bits());
+        }
+        assert_eq!(oracle.outputs(), nl.output_nets().as_slice());
+    }
+
+    #[test]
+    fn classifies_by_derated_arrival() {
+        let nl = lopsided();
+        let oracle = SlackOracle::analyze(&nl);
+        // clk 4.0, factor 1.5: shallow bound 1.5 ≤ 4 safe, deep 9 > 4 unsafe.
+        let set = oracle.safe_bits_at(4.0, 1.5);
+        assert_eq!(set.len(), 2);
+        assert!(set.is_safe(0));
+        assert!(!set.is_safe(1));
+        assert_eq!(set.count_safe(), 1);
+        assert!(!set.all_safe());
+        assert_eq!(set.unsafe_bits().len(), 1);
+        assert_eq!(set.unsafe_bits()[0].0, 1);
+        // Relaxed clock: everything safe.
+        assert!(oracle.safe_bits_at(10.0, 1.5).all_safe());
+    }
+
+    #[test]
+    fn per_level_sets_tighten_with_voltage() {
+        let nl = lopsided();
+        let oracle = SlackOracle::analyze(&nl);
+        let levels = [VoltageReduction::VR15, VoltageReduction::VR20];
+        let sets = oracle.safe_bits_per_level(8.5, &levels);
+        assert_eq!(sets.len(), 2);
+        // Deep chain: 6 × 1.33 ≈ 8.0 ≤ 8.5 safe at VR15, 6 × 1.52 ≈ 9.1
+        // unsafe at VR20; lower voltage can only shrink the safe set.
+        assert!(sets[0].is_safe(1));
+        assert!(!sets[1].is_safe(1));
+        assert!(sets[0].count_safe() >= sets[1].count_safe());
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform derating")]
+    fn rejects_jitter_models() {
+        let nl = lopsided();
+        let oracle = SlackOracle::analyze(&nl);
+        let jitter = DeratingModel::PerGateJitter {
+            law: crate::derating::AlphaPowerLaw::default(),
+            sigma: 0.05,
+            seed: 1,
+        };
+        oracle.safe_bits(OperatingPoint { vdd: 1.0, clk: 5.0 }, &jitter);
+    }
+}

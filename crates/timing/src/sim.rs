@@ -123,6 +123,21 @@ impl ArrivalSim {
                 }
             }
         }
+        // Sanitizer: dynamic settle times fold a max over *changed*
+        // fanins — a subset of the fanins STA folds over — so every
+        // settle time must respect the static arrival bound.
+        #[cfg(feature = "sanitize-arrivals")]
+        {
+            let sta = crate::sta::Sta::analyze(nl);
+            for i in 0..n {
+                assert!(
+                    out.settle[i] <= sta.arrivals()[i] + 1e-9,
+                    "sanitize-arrivals: net n{i} settled at {} past its static bound {}",
+                    out.settle[i],
+                    sta.arrivals()[i]
+                );
+            }
+        }
     }
 }
 
