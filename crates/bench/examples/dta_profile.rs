@@ -1,0 +1,94 @@
+//! Phase-level timing of the window kernel (load vs settle) per lane
+//! width — a scratch profiler for tuning, not a tracked artifact.
+
+use std::time::Instant;
+use tei_core::dev::random_operand_pairs;
+use tei_fpu::{FpuTimingSpec, FpuUnit};
+use tei_softfloat::{FpOp, FpOpKind, Precision};
+use tei_timing::ArrivalKernel;
+
+fn profile<const W: usize>(unit: &FpuUnit, pairs: &[(u64, u64)]) {
+    let compiled = unit.dta_compiled();
+    let width = unit.input_width();
+    let mut kernel = ArrivalKernel::<W>::default();
+    let mut flat = vec![false; ArrivalKernel::<W>::WINDOW_VECTORS * width];
+    let (mut t_enc, mut t_load, mut t_sel) = (0.0f64, 0.0f64, 0.0f64);
+    let mut transitions = 0usize;
+    let reps = 8;
+    for _ in 0..reps {
+        let mut start = 0usize;
+        while start + 1 < pairs.len() {
+            let count = (pairs.len() - start).min(ArrivalKernel::<W>::WINDOW_VECTORS);
+            let t0 = Instant::now();
+            for (v, &(a, b)) in pairs[start..start + count].iter().enumerate() {
+                unit.encode_inputs_into(a, b, &mut flat[v * width..(v + 1) * width]);
+            }
+            let t1 = Instant::now();
+            kernel.load_window(compiled, &flat[..count * width], count);
+            let t2 = Instant::now();
+            for t in 0..count - 1 {
+                kernel.select_transition(compiled, t);
+                criterion::black_box(&kernel);
+            }
+            let t3 = Instant::now();
+            t_enc += (t1 - t0).as_secs_f64();
+            t_load += (t2 - t1).as_secs_f64();
+            t_sel += (t3 - t2).as_secs_f64();
+            transitions += count - 1;
+            start += count - 1;
+        }
+    }
+    let total = t_enc + t_load + t_sel;
+    println!(
+        "W={W}: {:>7.0} pairs/s | encode {:>5.1}% load {:>5.1}% settle {:>5.1}% | \
+         {:.2} us/transition",
+        transitions as f64 / total,
+        100.0 * t_enc / total,
+        100.0 * t_load / total,
+        100.0 * t_sel / total,
+        1e6 * total / transitions as f64,
+    );
+}
+
+fn toggle_density<const W: usize>(unit: &FpuUnit, pairs: &[(u64, u64)]) {
+    let compiled = unit.dta_compiled();
+    let width = unit.input_width();
+    let n = unit.dta_netlist().len();
+    let mut kernel = ArrivalKernel::<W>::default();
+    let mut flat = vec![false; ArrivalKernel::<W>::WINDOW_VECTORS * width];
+    let count = ArrivalKernel::<W>::WINDOW_VECTORS.min(pairs.len());
+    for (v, &(a, b)) in pairs[..count].iter().enumerate() {
+        unit.encode_inputs_into(a, b, &mut flat[v * width..(v + 1) * width]);
+    }
+    kernel.load_window(compiled, &flat[..count * width], count);
+    let (per_t, unions) = kernel.toggle_profile();
+    let mean = per_t.iter().sum::<usize>() as f64 / per_t.len() as f64;
+    let union_mean = unions.iter().sum::<usize>() as f64 / unions.len() as f64;
+    println!(
+        "W={W}: mean toggles {:.1}% of nets per transition | batch union {:.1}% \
+         ({:.2}x the per-transition set)",
+        100.0 * mean / n as f64,
+        100.0 * union_mean / n as f64,
+        union_mean / mean,
+    );
+}
+
+fn main() {
+    let spec = FpuTimingSpec::paper_calibrated();
+    let unit = FpuUnit::generate(FpOp::new(FpOpKind::Mul, Precision::Double), &spec);
+    println!(
+        "d-mul: {} nets, {} inputs",
+        unit.dta_netlist().len(),
+        unit.input_width()
+    );
+    let pairs = random_operand_pairs(unit.op(), 4096, 0xbe9c);
+
+    // Toggle density: mean changed-net fraction per transition, and the
+    // union over W-aligned batches (what the batched settle pass walks).
+    toggle_density::<4>(&unit, &pairs);
+    toggle_density::<8>(&unit, &pairs);
+
+    profile::<1>(&unit, &pairs);
+    profile::<4>(&unit, &pairs);
+    profile::<8>(&unit, &pairs);
+}

@@ -137,7 +137,7 @@ pub fn fig5(arts: &Artifacts) -> Result<Report, TeiError> {
                 if t.len() < 2 {
                     continue;
                 }
-                let s = dev::dta_campaign(bank.unit(op), t, spec.clk, &[vr])
+                let s = dev::dta_campaign(bank.unit(op), t, spec.clk, &[vr])?
                     .pop()
                     .ok_or_else(|| TeiError::EmptyDta {
                         op: op.to_string(),
@@ -199,7 +199,7 @@ pub fn fig6(arts: &Artifacts) -> Result<Report, TeiError> {
     let full = full_trace.of(op);
     let unit = bank.unit(op);
     let vr = VoltageReduction::VR20;
-    let reference = dev::dta_campaign(unit, full, spec.clk, &[vr])
+    let reference = dev::dta_campaign(unit, full, spec.clk, &[vr])?
         .pop()
         .ok_or_else(|| TeiError::EmptyDta {
             op: op.to_string(),
@@ -224,7 +224,7 @@ pub fn fig6(arts: &Artifacts) -> Result<Report, TeiError> {
     }
     for frac in [100usize, 10, 3, 1] {
         let k = ((full.len() - 1) / frac).max(1);
-        let ber = dev::dta_campaign_sampled(unit, full, &order[..k], spec.clk, &[vr])
+        let ber = dev::dta_campaign_sampled(unit, full, &order[..k], spec.clk, &[vr])?
             .pop()
             .ok_or_else(|| TeiError::EmptyDta {
                 op: op.to_string(),

@@ -89,6 +89,28 @@ pub fn default_threads() -> usize {
     env_usize("TEI_THREADS", fallback).max(1)
 }
 
+/// Supported window lane widths (`u64` words per net) of the bit-sliced
+/// DTA kernel — each word carries 64 input vectors.
+pub const SUPPORTED_LANES: [usize; 3] = [1, 4, 8];
+
+/// Window lane words for the bit-sliced DTA kernel: 1, 4, or 8 `u64`s
+/// per net (64 / 256 / 512 input vectors per window). A pure throughput
+/// knob — campaign statistics are bit-identical at every width. Default
+/// 4 (AVX2-width ops); override with `TEI_LANES`. Unsupported widths
+/// warn once and fall back to the default.
+pub fn default_lanes() -> usize {
+    let lanes = env_usize("TEI_LANES", 4);
+    if SUPPORTED_LANES.contains(&lanes) {
+        lanes
+    } else {
+        warn_once(
+            "TEI_LANES",
+            &format!("unsupported lane width {lanes} (supported: 1, 4, 8), using 4"),
+        );
+        4
+    }
+}
+
 /// Directory for durable campaign journals. Override with
 /// `TEI_JOURNAL_DIR`; defaults to `journal/`.
 pub fn default_journal_dir() -> std::path::PathBuf {
@@ -135,6 +157,13 @@ pub fn validate_env() -> Result<(), TeiError> {
         }
     })?;
     validate_knob("TEI_CHECKPOINT_INTERVAL", |_| Ok(()))?;
+    validate_knob("TEI_LANES", |n| {
+        if SUPPORTED_LANES.contains(&n) {
+            Ok(())
+        } else {
+            Err(format!("unsupported lane width {n} (supported: 1, 4, 8)"))
+        }
+    })?;
     validate_knob("TEI_RUNS", |n| {
         if n == 0 {
             Err("must be at least 1".into())
@@ -164,14 +193,28 @@ mod tests {
         std::env::remove_var("TEI_TEST_BAD_KNOB");
     }
 
+    // Env mutation is process-wide, so every validate_env scenario
+    // lives in this one test (parallel test threads would otherwise
+    // observe each other's knob values mid-assertion).
     #[test]
-    fn validate_env_rejects_bad_threads() {
+    fn validate_env_rejects_bad_knobs() {
         std::env::set_var("TEI_THREADS", "0");
         let err = validate_env().unwrap_err();
         assert!(err.to_string().contains("TEI_THREADS"));
         std::env::set_var("TEI_THREADS", "not-a-number");
         assert!(validate_env().is_err());
         std::env::remove_var("TEI_THREADS");
+        std::env::set_var("TEI_LANES", "3");
+        let err = validate_env().unwrap_err();
+        assert!(err.to_string().contains("TEI_LANES"));
+        // The non-validating read warns and falls back instead.
+        assert_eq!(default_lanes(), 4);
+        assert!(warned_knobs().contains("TEI_LANES"));
+        std::env::set_var("TEI_LANES", "8");
+        assert_eq!(default_lanes(), 8);
+        assert!(validate_env().is_ok());
+        std::env::remove_var("TEI_LANES");
+        assert_eq!(default_lanes(), 4);
         assert!(validate_env().is_ok());
     }
 }

@@ -8,11 +8,13 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use tei_fpu::{FpuBank, FpuTimingSpec, FpuUnit};
 use tei_isa::Program;
 use tei_netlist::NetId;
 use tei_softfloat::{FpOp, FpOpKind};
-use tei_timing::{ArrivalKernel, CompiledNetlist, VoltageReduction, WINDOW_VECTORS};
+use tei_timing::{ArrivalKernel, CompiledNetlist, VoltageReduction};
 use tei_uarch::FuncCore;
 
 /// Per-operation operand trace: consecutive `(a, b)` raw-bit pairs in
@@ -202,7 +204,9 @@ impl OpErrorStats {
 /// over-weight early-trace behavior).
 const MASK_CAP: usize = 50_000;
 
-/// Tuning knobs of the DTA campaign inner loop.
+/// Tuning knobs of the DTA campaign inner loop. Tuning never changes
+/// the produced statistics — only how much work the inner loop performs
+/// and how wide its windows are.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DtaTuning {
     /// Skip the settle-time threshold for output bits the static slack
@@ -214,12 +218,19 @@ pub struct DtaTuning {
     /// so a statically-safe bit can never contribute to an error mask.
     /// Disabling this exists for the `pruning` bench ablation.
     pub prune_safe_bits: bool,
+    /// Window lane words of the bit-sliced kernel: 1, 4, or 8 `u64`s
+    /// per net, i.e. 64 / 256 / 512 input vectors per whole-circuit
+    /// evaluation pass (see [`ArrivalKernel`]). Defaults to
+    /// [`config::default_lanes`] (`TEI_LANES`, 4 when unset). Campaign
+    /// statistics are bit-identical at every width.
+    pub lanes: usize,
 }
 
 impl Default for DtaTuning {
     fn default() -> Self {
         DtaTuning {
             prune_safe_bits: true,
+            lanes: config::default_lanes(),
         }
     }
 }
@@ -277,13 +288,13 @@ pub fn safe_bit_counts(unit: &FpuUnit, clk: f64, levels: &[VoltageReduction]) ->
 /// noise) are clamped to the clock period: they fail under any voltage
 /// reduction but never at nominal. Masks accumulate uncapped here;
 /// [`finalize_masks`] applies the reservoir cap after shards merge.
-fn accumulate_transition(
+fn accumulate_transition<const W: usize>(
     stats: &mut [OpErrorStats],
     factors: &[f64],
     live: &[Vec<(usize, NetId)>],
     outputs: &[NetId],
     clk: f64,
-    kernel: &ArrivalKernel,
+    kernel: &ArrivalKernel<W>,
 ) {
     #[cfg(not(feature = "sanitize-arrivals"))]
     let _ = outputs;
@@ -354,15 +365,116 @@ fn empty_stats(unit: &FpuUnit, levels: &[VoltageReduction], width: usize) -> Vec
         .collect()
 }
 
-/// Split `count` work items into at most `threads` contiguous
-/// near-equal ranges.
-fn shard_ranges(count: usize, threads: usize) -> Vec<(usize, usize)> {
-    let threads = threads.clamp(1, count.max(1));
-    let chunk = count.div_ceil(threads);
-    (0..threads)
-        .map(|t| (t * chunk, ((t + 1) * chunk).min(count)))
-        .filter(|&(lo, hi)| lo < hi)
-        .collect()
+/// Windows of work per distribution chunk. Small enough that a worker
+/// stuck on a skewed chunk (dense transitions cost more than sparse
+/// ones) cannot serialize the campaign the way the old static
+/// contiguous split could — idle workers just pull the next chunk off
+/// the cursor — and large enough that the one-vector state
+/// re-establishment at each chunk boundary stays negligible (< 0.5 %).
+const CHUNK_WINDOWS: usize = 4;
+
+/// Error label for the DTA worker pools.
+const DTA_POOL: &str = "DTA campaign";
+
+/// Per-worker scratch reused across every chunk a worker claims: the
+/// kernel (lane planes, settle arrays, transposed transition masks) and
+/// the flat encode buffer are allocated once per worker thread, never
+/// per window or per chunk.
+struct WindowScratch<const W: usize> {
+    kernel: ArrivalKernel<W>,
+    flat: Vec<bool>,
+}
+
+impl<const W: usize> WindowScratch<W> {
+    fn new(width: usize) -> Self {
+        WindowScratch {
+            kernel: ArrivalKernel::default(),
+            flat: vec![false; ArrivalKernel::<W>::WINDOW_VECTORS * width],
+        }
+    }
+}
+
+/// One chunk's finished statistics, published exactly once by whichever
+/// worker claimed the chunk. Aligned to its own cache line so adjacent
+/// slots written by different workers never false-share.
+#[derive(Default)]
+#[repr(align(128))]
+struct ChunkSlot(Mutex<Option<Vec<OpErrorStats>>>);
+
+/// Run `n_chunks` chunk jobs across `threads` workers pulling chunk
+/// indices off a shared atomic cursor, then merge the per-chunk stats
+/// **in chunk-index order** — chunk order is transition order, so the
+/// merged result is byte-identical to the serial walk no matter which
+/// worker ran which chunk or in what order they finished.
+///
+/// `run_chunk(ci, scratch)` computes chunk `ci` with the worker's
+/// reusable scratch. Each worker builds its scratch once on its own
+/// thread (first-touch local allocation) and keeps per-chunk
+/// accumulation thread-local; only the finished chunk result is
+/// published.
+fn run_chunked<const W: usize>(
+    n_chunks: usize,
+    threads: usize,
+    width: usize,
+    empty: impl Fn() -> Vec<OpErrorStats>,
+    run_chunk: impl Fn(usize, &mut WindowScratch<W>) -> Vec<OpErrorStats> + Sync,
+) -> Result<Vec<OpErrorStats>, TeiError> {
+    let threads = threads.clamp(1, n_chunks.max(1));
+    let mut merged = empty();
+    if threads <= 1 {
+        let mut scratch = WindowScratch::<W>::new(width);
+        for ci in 0..n_chunks {
+            for (dst, src) in merged.iter_mut().zip(&run_chunk(ci, &mut scratch)) {
+                dst.merge(src);
+            }
+        }
+        return Ok(merged);
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<ChunkSlot> = (0..n_chunks).map(|_| ChunkSlot::default()).collect();
+    let panicked = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| {
+                    let mut scratch = WindowScratch::<W>::new(width);
+                    loop {
+                        let ci = cursor.fetch_add(1, Ordering::Relaxed);
+                        if ci >= n_chunks {
+                            break;
+                        }
+                        let stats = run_chunk(ci, &mut scratch);
+                        let mut slot = match slots[ci].0.lock() {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                        *slot = Some(stats);
+                    }
+                })
+            })
+            .collect();
+        // Join *every* handle (an early return would leave panicked
+        // threads unjoined and re-panic at scope exit), then report.
+        let mut panicked = false;
+        for h in handles {
+            panicked |= h.join().is_err();
+        }
+        panicked
+    })
+    .map_err(|_| TeiError::WorkerPool(DTA_POOL))?;
+    if panicked {
+        return Err(TeiError::WorkerPool(DTA_POOL));
+    }
+    for slot in slots {
+        let stats = match slot.0.into_inner() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+        .ok_or(TeiError::WorkerPool(DTA_POOL))?;
+        for (dst, src) in merged.iter_mut().zip(&stats) {
+            dst.merge(src);
+        }
+    }
+    Ok(merged)
 }
 
 /// Run a DTA campaign for one unit over an operand-pair stream, producing
@@ -372,32 +484,48 @@ fn shard_ranges(count: usize, threads: usize) -> Vec<(usize, usize)> {
 /// The first pair only establishes circuit state; transition `k` is
 /// `pairs[k] → pairs[k+1]`, the chained access pattern the compiled
 /// [`ArrivalKernel`] advances without re-evaluating unchanged cones.
-/// Shards across `TEI_THREADS` worker threads (default: all cores); the
-/// sharded output is byte-identical to the single-threaded one.
+/// Work is distributed in chunks across `TEI_THREADS` worker threads
+/// (default: all cores); the parallel output is byte-identical to the
+/// single-threaded one.
+///
+/// # Errors
+///
+/// [`TeiError::WorkerPool`] when a campaign worker panics.
 pub fn dta_campaign(
     unit: &FpuUnit,
     pairs: &[(u64, u64)],
     clk: f64,
     levels: &[VoltageReduction],
-) -> Vec<OpErrorStats> {
+) -> Result<Vec<OpErrorStats>, TeiError> {
     dta_campaign_with_threads(unit, pairs, clk, levels, config::default_threads())
 }
 
 /// [`dta_campaign`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// [`TeiError::WorkerPool`] when a campaign worker panics.
 pub fn dta_campaign_with_threads(
     unit: &FpuUnit,
     pairs: &[(u64, u64)],
     clk: f64,
     levels: &[VoltageReduction],
     threads: usize,
-) -> Vec<OpErrorStats> {
+) -> Result<Vec<OpErrorStats>, TeiError> {
     dta_campaign_tuned(unit, pairs, clk, levels, threads, DtaTuning::default())
 }
 
 /// [`dta_campaign_with_threads`] with explicit [`DtaTuning`]. Tuning
 /// never changes the produced statistics — only how much work the inner
-/// loop performs; the default (safe-bit pruning on) is what every other
-/// entry point uses.
+/// loop performs and how wide its lane words are; the default (safe-bit
+/// pruning on, `TEI_LANES` lane words) is what every other entry point
+/// uses.
+///
+/// # Errors
+///
+/// [`TeiError::Config`] for a lane width outside
+/// [`config::SUPPORTED_LANES`]; [`TeiError::WorkerPool`] when a campaign
+/// worker panics.
 pub fn dta_campaign_tuned(
     unit: &FpuUnit,
     pairs: &[(u64, u64)],
@@ -405,91 +533,102 @@ pub fn dta_campaign_tuned(
     levels: &[VoltageReduction],
     threads: usize,
     tuning: DtaTuning,
-) -> Vec<OpErrorStats> {
+) -> Result<Vec<OpErrorStats>, TeiError> {
+    match tuning.lanes {
+        1 => dta_campaign_lanes::<1>(unit, pairs, clk, levels, threads, tuning),
+        4 => dta_campaign_lanes::<4>(unit, pairs, clk, levels, threads, tuning),
+        8 => dta_campaign_lanes::<8>(unit, pairs, clk, levels, threads, tuning),
+        other => Err(TeiError::Config {
+            knob: "TEI_LANES".to_string(),
+            reason: format!("unsupported lane width {other} (supported: 1, 4, 8)"),
+        }),
+    }
+}
+
+/// The campaign inner loop, monomorphized per lane width `W`.
+fn dta_campaign_lanes<const W: usize>(
+    unit: &FpuUnit,
+    pairs: &[(u64, u64)],
+    clk: f64,
+    levels: &[VoltageReduction],
+    threads: usize,
+    tuning: DtaTuning,
+) -> Result<Vec<OpErrorStats>, TeiError> {
     let outputs = unit.result_port().to_vec();
     if pairs.len() < 2 {
-        return empty_stats(unit, levels, outputs.len());
+        return Ok(empty_stats(unit, levels, outputs.len()));
     }
     let compiled = unit.dta_compiled();
     let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
     let live = live_bits(compiled, &outputs, &factors, clk, tuning);
 
-    // Transition t (1-based) is pairs[t-1] → pairs[t]; shard the
-    // transition range contiguously, each shard re-establishing circuit
-    // state from its first pair (a one-pair overlap with the previous
-    // shard), so concatenating shard results reproduces the serial walk.
+    // Transition t is pairs[t] → pairs[t+1]. Chunk ci covers the
+    // contiguous transitions [ci*span, (ci+1)*span), each chunk
+    // re-establishing circuit state from its first pair (a one-pair
+    // overlap with the previous chunk), so merging chunk results in
+    // index order reproduces the serial walk.
     let transitions = pairs.len() - 1;
     let width = unit.input_width();
-    let run_shard = |lo: usize, hi: usize| -> Vec<OpErrorStats> {
+    let span = CHUNK_WINDOWS * (ArrivalKernel::<W>::WINDOW_VECTORS - 1);
+    let run_chunk = |ci: usize, scratch: &mut WindowScratch<W>| -> Vec<OpErrorStats> {
+        let lo = ci * span;
+        let hi = ((ci + 1) * span).min(transitions);
         let mut stats = empty_stats(unit, levels, outputs.len());
-        let mut kernel = ArrivalKernel::new();
-        let mut flat = vec![false; WINDOW_VECTORS * width];
-        // Bit-sliced windows over the shard's vectors, overlapping one
-        // vector so every transition lo+1..=hi is covered exactly once.
+        // Bit-sliced windows over the chunk's vectors, overlapping one
+        // vector so every transition lo..hi is covered exactly once.
         let mut start = lo;
         while start < hi {
-            let count = (hi - start + 1).min(WINDOW_VECTORS);
+            let count = (hi - start + 1).min(ArrivalKernel::<W>::WINDOW_VECTORS);
             for (v, &(a, b)) in pairs[start..start + count].iter().enumerate() {
-                unit.encode_inputs_into(a, b, &mut flat[v * width..(v + 1) * width]);
+                unit.encode_inputs_into(a, b, &mut scratch.flat[v * width..(v + 1) * width]);
             }
-            kernel.load_window(compiled, &flat[..count * width], count);
+            scratch
+                .kernel
+                .load_window(compiled, &scratch.flat[..count * width], count);
             for t in 0..count - 1 {
-                kernel.select_transition(compiled, t);
-                accumulate_transition(&mut stats, &factors, &live, &outputs, clk, &kernel);
+                scratch.kernel.select_transition(compiled, t);
+                accumulate_transition(&mut stats, &factors, &live, &outputs, clk, &scratch.kernel);
             }
             start += count - 1;
         }
         stats
     };
 
-    let ranges = shard_ranges(transitions, threads);
-    // Documented invariant: shard closures are pure compute over operand
-    // pairs the golden run already validated — they cannot panic short of
-    // a kernel bug, so a join failure here is a programming error, not an
-    // operational condition worth a Result on this hot path.
-    let mut stats = if ranges.len() == 1 {
-        run_shard(0, transitions)
-    } else {
-        let run_shard = &run_shard;
-        let shard_results: Vec<Vec<OpErrorStats>> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|&(lo, hi)| scope.spawn(move |_| run_shard(lo, hi)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("DTA shard panicked"))
-                .collect()
-        })
-        .expect("DTA campaign scope");
-        let mut merged = empty_stats(unit, levels, outputs.len());
-        for shard in &shard_results {
-            for (dst, src) in merged.iter_mut().zip(shard) {
-                dst.merge(src);
-            }
-        }
-        merged
-    };
+    let mut stats = run_chunked::<W>(
+        transitions.div_ceil(span),
+        threads,
+        width,
+        || empty_stats(unit, levels, outputs.len()),
+        run_chunk,
+    )?;
     finalize_masks(&mut stats);
-    stats
+    Ok(stats)
 }
 
 /// DTA over a *sampled subset* of a trace: each sampled index `i ≥ 1`
 /// is analyzed as the transition `trace[i-1] → trace[i]`, preserving the
 /// true previous circuit state of every sampled dynamic instruction (the
-/// paper's "randomly extracted" characterization). Shards across
+/// paper's "randomly extracted" characterization). Chunks across
 /// `TEI_THREADS` worker threads with output identical to the serial walk.
+///
+/// # Errors
+///
+/// [`TeiError::WorkerPool`] when a campaign worker panics.
 pub fn dta_campaign_sampled(
     unit: &FpuUnit,
     trace: &[(u64, u64)],
     indices: &[usize],
     clk: f64,
     levels: &[VoltageReduction],
-) -> Vec<OpErrorStats> {
+) -> Result<Vec<OpErrorStats>, TeiError> {
     dta_campaign_sampled_with_threads(unit, trace, indices, clk, levels, config::default_threads())
 }
 
 /// [`dta_campaign_sampled`] with an explicit worker-thread count.
+///
+/// # Errors
+///
+/// [`TeiError::WorkerPool`] when a campaign worker panics.
 pub fn dta_campaign_sampled_with_threads(
     unit: &FpuUnit,
     trace: &[(u64, u64)],
@@ -497,69 +636,76 @@ pub fn dta_campaign_sampled_with_threads(
     clk: f64,
     levels: &[VoltageReduction],
     threads: usize,
-) -> Vec<OpErrorStats> {
+) -> Result<Vec<OpErrorStats>, TeiError> {
+    // Sampled campaigns follow the default lane width (`TEI_LANES`);
+    // the result is bit-identical at every width.
+    match DtaTuning::default().lanes {
+        1 => dta_campaign_sampled_lanes::<1>(unit, trace, indices, clk, levels, threads),
+        8 => dta_campaign_sampled_lanes::<8>(unit, trace, indices, clk, levels, threads),
+        _ => dta_campaign_sampled_lanes::<4>(unit, trace, indices, clk, levels, threads),
+    }
+}
+
+/// The sampled-campaign inner loop, monomorphized per lane width `W`.
+fn dta_campaign_sampled_lanes<const W: usize>(
+    unit: &FpuUnit,
+    trace: &[(u64, u64)],
+    indices: &[usize],
+    clk: f64,
+    levels: &[VoltageReduction],
+    threads: usize,
+) -> Result<Vec<OpErrorStats>, TeiError> {
     let outputs = unit.result_port().to_vec();
     let compiled = unit.dta_compiled();
     let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
     let live = live_bits(compiled, &outputs, &factors, clk, DtaTuning::default());
 
+    // Sampled transitions are disjoint, so each window packs
+    // `prev, cur` vector pairs and analyzes the even transitions only
+    // (odd lanes straddle unrelated samples). Chunk ci covers a
+    // contiguous run of sample indices; index order is preserved.
     let width = unit.input_width();
-    let run_shard = |slice: &[usize]| -> Vec<OpErrorStats> {
+    let samples_per_window = ArrivalKernel::<W>::WINDOW_VECTORS / 2;
+    let span = CHUNK_WINDOWS * samples_per_window;
+    let run_chunk = |ci: usize, scratch: &mut WindowScratch<W>| -> Vec<OpErrorStats> {
+        let slice = &indices[ci * span..((ci + 1) * span).min(indices.len())];
         let mut stats = empty_stats(unit, levels, outputs.len());
-        let mut kernel = ArrivalKernel::new();
-        let mut flat = vec![false; WINDOW_VECTORS * width];
-        // Sampled transitions are disjoint, so pack each window with
-        // `prev, cur` vector pairs and analyze the even transitions
-        // only (odd lanes straddle unrelated samples).
-        for chunk in slice.chunks(WINDOW_VECTORS / 2) {
+        for chunk in slice.chunks(samples_per_window) {
             let count = chunk.len() * 2;
             for (j, &i) in chunk.iter().enumerate() {
                 assert!(i >= 1 && i < trace.len(), "sample index out of range");
                 let lo = (2 * j) * width;
-                unit.encode_inputs_into(trace[i - 1].0, trace[i - 1].1, &mut flat[lo..lo + width]);
+                unit.encode_inputs_into(
+                    trace[i - 1].0,
+                    trace[i - 1].1,
+                    &mut scratch.flat[lo..lo + width],
+                );
                 unit.encode_inputs_into(
                     trace[i].0,
                     trace[i].1,
-                    &mut flat[lo + width..lo + 2 * width],
+                    &mut scratch.flat[lo + width..lo + 2 * width],
                 );
             }
-            kernel.load_window(compiled, &flat[..count * width], count);
+            scratch
+                .kernel
+                .load_window(compiled, &scratch.flat[..count * width], count);
             for j in 0..chunk.len() {
-                kernel.select_transition(compiled, 2 * j);
-                accumulate_transition(&mut stats, &factors, &live, &outputs, clk, &kernel);
+                scratch.kernel.select_transition(compiled, 2 * j);
+                accumulate_transition(&mut stats, &factors, &live, &outputs, clk, &scratch.kernel);
             }
         }
         stats
     };
 
-    let ranges = shard_ranges(indices.len(), threads);
-    // Documented invariant: see `dta_campaign_with_threads` — shard
-    // closures are panic-free pure compute.
-    let mut stats = if ranges.len() <= 1 {
-        run_shard(indices)
-    } else {
-        let run_shard = &run_shard;
-        let shard_results: Vec<Vec<OpErrorStats>> = crossbeam::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .iter()
-                .map(|&(lo, hi)| scope.spawn(move |_| run_shard(&indices[lo..hi])))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("DTA shard panicked"))
-                .collect()
-        })
-        .expect("DTA campaign scope");
-        let mut merged = empty_stats(unit, levels, outputs.len());
-        for shard in &shard_results {
-            for (dst, src) in merged.iter_mut().zip(shard) {
-                dst.merge(src);
-            }
-        }
-        merged
-    };
+    let mut stats = run_chunked::<W>(
+        indices.len().div_ceil(span),
+        threads,
+        width,
+        || empty_stats(unit, levels, outputs.len()),
+        run_chunk,
+    )?;
     finalize_masks(&mut stats);
-    stats
+    Ok(stats)
 }
 
 /// Average absolute BER estimation error (paper eq. 3) between a
@@ -603,9 +749,6 @@ where
     T: Send,
     F: Fn(FpOp) -> T + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
     const POOL: &str = "per-op model development";
     let ops = FpOp::all();
     let threads = config::default_threads().clamp(1, ops.len());
@@ -655,23 +798,17 @@ pub fn calibrate_da(
     levels: &[VoltageReduction],
     per_op_cap: usize,
 ) -> Result<DaCalibration, TeiError> {
-    let per_op: Vec<Option<Vec<OpErrorStats>>> = per_op_parallel(|op| {
+    let per_op: Vec<Result<Option<Vec<OpErrorStats>>, TeiError>> = per_op_parallel(|op| {
         let trace = pooled.of(op);
         if trace.len() < 2 {
-            return None;
+            return Ok(None);
         }
         let take = trace.len().min(per_op_cap);
-        Some(dta_campaign_with_threads(
-            bank.unit(op),
-            &trace[..take],
-            spec.clk,
-            levels,
-            1,
-        ))
+        dta_campaign_with_threads(bank.unit(op), &trace[..take], spec.clk, levels, 1).map(Some)
     })?;
     let mut totals = vec![(0u64, 0u64); levels.len()]; // (faulty, samples)
-    for stats in per_op.into_iter().flatten() {
-        for (t, s) in totals.iter_mut().zip(&stats) {
+    for stats in per_op {
+        for (t, s) in totals.iter_mut().zip(&stats?.unwrap_or_default()) {
             t.0 += s.faulty;
             t.1 += s.samples;
         }
@@ -776,18 +913,62 @@ mod tests {
     }
 
     #[test]
-    fn shard_ranges_cover_contiguously() {
-        for count in [0usize, 1, 5, 7, 16] {
-            for threads in [1usize, 2, 3, 8, 32] {
-                let ranges = shard_ranges(count, threads);
-                let mut expect = 0usize;
-                for &(lo, hi) in &ranges {
-                    assert_eq!(lo, expect, "contiguous shards");
-                    assert!(hi > lo);
-                    expect = hi;
-                }
-                assert_eq!(expect, count, "full coverage");
-            }
+    fn chunked_merge_preserves_chunk_order() {
+        let op = FpOp::new(FpOpKind::Add, Precision::Single);
+        let empty = || vec![OpErrorStats::empty(op, VoltageReduction::VR20, 8)];
+        let run = |ci: usize, _s: &mut WindowScratch<1>| {
+            let mut v = empty();
+            v[0].samples = 1;
+            v[0].masks = vec![ci as u64];
+            v
+        };
+        for threads in [1usize, 2, 5, 32] {
+            let merged = run_chunked::<1>(17, threads, 4, empty, run).expect("pool");
+            assert_eq!(merged[0].samples, 17);
+            let want: Vec<u64> = (0..17).collect();
+            assert_eq!(
+                merged[0].masks, want,
+                "masks must concatenate in chunk-index order at {threads} threads"
+            );
         }
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_pool_error() {
+        let op = FpOp::new(FpOpKind::Add, Precision::Single);
+        let empty = || vec![OpErrorStats::empty(op, VoltageReduction::VR20, 8)];
+        let run = |ci: usize, _s: &mut WindowScratch<1>| -> Vec<OpErrorStats> {
+            assert!(ci != 3, "injected worker fault");
+            empty()
+        };
+        let err = run_chunked::<1>(8, 2, 4, empty, run).expect_err("must not succeed");
+        assert!(
+            matches!(err, TeiError::WorkerPool(_)),
+            "worker panic must surface as a typed pool error, got {err}"
+        );
+    }
+
+    #[test]
+    fn bad_lane_width_is_a_config_error() {
+        let (bank, spec) = default_bank();
+        let op = FpOp::new(FpOpKind::Add, Precision::Single);
+        let pairs = random_operand_pairs(op, 8, 7);
+        let tuning = DtaTuning {
+            lanes: 3,
+            ..DtaTuning::default()
+        };
+        let err = dta_campaign_tuned(
+            bank.unit(op),
+            &pairs,
+            spec.clk,
+            &[VoltageReduction::VR20],
+            1,
+            tuning,
+        )
+        .expect_err("lane width 3 must be rejected");
+        assert!(
+            matches!(err, TeiError::Config { .. }),
+            "unsupported lanes must be a config error, got {err}"
+        );
     }
 }

@@ -223,7 +223,7 @@ impl StatModel {
     ) -> Result<Self, TeiError> {
         let stats: Vec<OpErrorStats> = per_op_parallel(|op| {
             let pairs = random_operand_pairs(op, samples_per_op, seed);
-            dta_campaign_with_threads(bank.unit(op), &pairs, spec.clk, &[vr], 1)
+            dta_campaign_with_threads(bank.unit(op), &pairs, spec.clk, &[vr], 1)?
                 .pop()
                 .ok_or_else(|| TeiError::EmptyDta {
                     op: op.to_string(),
@@ -291,7 +291,7 @@ impl StatModel {
         let stats: Vec<OpErrorStats> = per_op_parallel(|op| {
             let t = trace.of(op);
             let take = t.len().min(per_op_cap);
-            dta_campaign_with_threads(bank.unit(op), &t[..take], spec.clk, &[vr], 1)
+            dta_campaign_with_threads(bank.unit(op), &t[..take], spec.clk, &[vr], 1)?
                 .pop()
                 .ok_or_else(|| TeiError::EmptyDta {
                     op: op.to_string(),

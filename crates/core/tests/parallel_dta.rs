@@ -1,16 +1,19 @@
-//! Sharded DTA campaigns must be byte-identical to the serial walk:
-//! same counts, same mask-library order, same histograms, regardless of
-//! thread count. The shard merge concatenates in shard order and the
-//! mask reservoir is seeded per `(op, vr)` cell, so the JSON encodings
-//! compare equal exactly.
+//! Chunked DTA campaigns must be byte-identical to the serial walk —
+//! same counts, same mask-library order, same histograms — regardless
+//! of thread count, lane width, or safe-bit pruning. Chunk results
+//! merge in chunk-index (= transition) order and the mask reservoir is
+//! seeded per `(op, vr)` cell, so the JSON encodings compare equal
+//! exactly; a reference campaign driven by the interpreted
+//! [`ArrivalSim`] pins all of them to the ground-truth engine.
 
+use std::collections::BTreeMap;
 use tei_core::dev::{
     dta_campaign_sampled_with_threads, dta_campaign_tuned, dta_campaign_with_threads,
-    random_operand_pairs, safe_bit_counts, DtaTuning,
+    random_operand_pairs, safe_bit_counts, DtaTuning, OpErrorStats,
 };
 use tei_fpu::{FpuTimingSpec, FpuUnit};
 use tei_softfloat::{FpOp, FpOpKind, Precision};
-use tei_timing::VoltageReduction;
+use tei_timing::{ArrivalSim, VoltageReduction};
 
 const LEVELS: [VoltageReduction; 2] = [VoltageReduction::VR15, VoltageReduction::VR20];
 
@@ -25,22 +28,112 @@ fn test_unit() -> (&'static FpuUnit, FpuTimingSpec) {
     (unit, spec)
 }
 
+/// Ground-truth mini-campaign: walk every transition with the
+/// interpreted [`ArrivalSim`] and accumulate the same per-corner
+/// statistics the kernel campaigns produce (nominal clamp included).
+/// No reservoir cap is applied — callers keep the pair count under it.
+fn sim_reference(
+    unit: &FpuUnit,
+    pairs: &[(u64, u64)],
+    clk: f64,
+    levels: &[VoltageReduction],
+) -> Vec<OpErrorStats> {
+    let nl = unit.dta_netlist();
+    let outputs = unit.result_port();
+    let mut stats: Vec<OpErrorStats> = levels
+        .iter()
+        .map(|&vr| OpErrorStats {
+            op: unit.op(),
+            vr,
+            samples: 0,
+            faulty: 0,
+            bit_errors: vec![0; outputs.len()],
+            masks: Vec::new(),
+            flip_hist: BTreeMap::new(),
+        })
+        .collect();
+    let mut prev = unit.encode_inputs(pairs[0].0, pairs[0].1);
+    for &(a, b) in &pairs[1..] {
+        let cur = unit.encode_inputs(a, b);
+        let r = ArrivalSim::run(&nl, &prev, &cur);
+        for (s, vr) in stats.iter_mut().zip(levels) {
+            let k = vr.derating_factor();
+            s.samples += 1;
+            let mut mask = 0u64;
+            for (bit, &net) in outputs.iter().enumerate() {
+                if r.settle[net.index()].min(clk) * k > clk {
+                    mask |= 1 << bit;
+                    s.bit_errors[bit] += 1;
+                }
+            }
+            if mask != 0 {
+                s.faulty += 1;
+                *s.flip_hist.entry(mask.count_ones() as usize).or_default() += 1;
+                s.masks.push(mask);
+            }
+        }
+        prev = cur;
+    }
+    stats
+}
+
 #[test]
 fn parallel_campaign_equals_serial_byte_for_byte() {
     let (unit, spec) = test_unit();
     let pairs = random_operand_pairs(unit.op(), 403, 0xd7a_cafe);
-    let serial = dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 1);
+    let serial =
+        dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 1).expect("serial campaign");
     assert!(
         serial.iter().any(|s| s.faulty > 0),
         "campaign should observe errors for the comparison to be meaningful"
     );
     for threads in [2usize, 3, 8] {
-        let parallel = dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, threads);
+        let parallel = dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, threads)
+            .expect("parallel campaign");
         assert_eq!(
             serde_json::to_string(&serial).expect("serialize serial"),
             serde_json::to_string(&parallel).expect("serialize parallel"),
             "{threads}-thread campaign diverged from serial"
         );
+    }
+}
+
+/// The tentpole equivalence matrix: every supported lane width, serial
+/// and parallel, with and without safe-bit pruning, must reproduce the
+/// interpreted `ArrivalSim` reference byte for byte. Under the
+/// `sanitize-arrivals` feature the campaign inner loop additionally
+/// cross-checks every pruned mask against a full bit scan.
+#[test]
+fn lane_widths_match_arrival_sim_byte_for_byte() {
+    let (unit, spec) = test_unit();
+    for seed in [0xd7a_cafeu64, 0x51ced] {
+        let pairs = random_operand_pairs(unit.op(), 403, seed);
+        let reference = serde_json::to_string(&sim_reference(unit, &pairs, spec.clk, &LEVELS))
+            .expect("serialize reference");
+        for lanes in [1usize, 4, 8] {
+            for threads in [1usize, 3] {
+                for prune_safe_bits in [true, false] {
+                    let got = dta_campaign_tuned(
+                        unit,
+                        &pairs,
+                        spec.clk,
+                        &LEVELS,
+                        threads,
+                        DtaTuning {
+                            prune_safe_bits,
+                            lanes,
+                        },
+                    )
+                    .expect("campaign");
+                    assert_eq!(
+                        serde_json::to_string(&got).expect("serialize campaign"),
+                        reference,
+                        "lanes={lanes} threads={threads} prune={prune_safe_bits} \
+                         seed={seed:#x} diverged from ArrivalSim"
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -50,10 +143,12 @@ fn parallel_sampled_campaign_equals_serial_byte_for_byte() {
     let trace = random_operand_pairs(unit.op(), 300, 0x5a5a);
     // An arbitrary non-monotonic sample pattern over valid indices.
     let indices: Vec<usize> = (1..trace.len()).filter(|i| i % 3 != 0).collect();
-    let serial = dta_campaign_sampled_with_threads(unit, &trace, &indices, spec.clk, &LEVELS, 1);
+    let serial = dta_campaign_sampled_with_threads(unit, &trace, &indices, spec.clk, &LEVELS, 1)
+        .expect("serial sampled campaign");
     for threads in [2usize, 5] {
         let parallel =
-            dta_campaign_sampled_with_threads(unit, &trace, &indices, spec.clk, &LEVELS, threads);
+            dta_campaign_sampled_with_threads(unit, &trace, &indices, spec.clk, &LEVELS, threads)
+                .expect("parallel sampled campaign");
         assert_eq!(
             serde_json::to_string(&serial).expect("serialize serial"),
             serde_json::to_string(&parallel).expect("serialize parallel"),
@@ -66,7 +161,8 @@ fn parallel_sampled_campaign_equals_serial_byte_for_byte() {
 fn safe_bit_pruning_is_byte_identical_to_full_scan() {
     let (unit, spec) = test_unit();
     let pairs = random_operand_pairs(unit.op(), 403, 0xd7a_cafe);
-    let pruned = dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 1);
+    let pruned =
+        dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 1).expect("pruned campaign");
     let unpruned = dta_campaign_tuned(
         unit,
         &pairs,
@@ -75,8 +171,10 @@ fn safe_bit_pruning_is_byte_identical_to_full_scan() {
         1,
         DtaTuning {
             prune_safe_bits: false,
+            ..DtaTuning::default()
         },
-    );
+    )
+    .expect("unpruned campaign");
     assert_eq!(
         serde_json::to_string(&pruned).expect("serialize pruned"),
         serde_json::to_string(&unpruned).expect("serialize unpruned"),
@@ -97,9 +195,11 @@ fn safe_bit_pruning_is_byte_identical_to_full_scan() {
 fn thread_count_overshoot_is_clamped() {
     let (unit, spec) = test_unit();
     let pairs = random_operand_pairs(unit.op(), 6, 1);
-    // More threads than transitions: shards clamp without panicking.
-    let stats = dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 64);
+    // More threads than chunks: workers clamp without panicking.
+    let stats =
+        dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 64).expect("clamped campaign");
     assert_eq!(stats[0].samples, 5);
-    let empty = dta_campaign_with_threads(unit, &pairs[..1], spec.clk, &LEVELS, 4);
+    let empty =
+        dta_campaign_with_threads(unit, &pairs[..1], spec.clk, &LEVELS, 4).expect("empty campaign");
     assert_eq!(empty[0].samples, 0, "single pair only establishes state");
 }

@@ -83,7 +83,8 @@ fn flip_histogram_shows_multibit_errors() {
     let (bank, spec) = bank();
     let op = FpOp::new(FpOpKind::Mul, Precision::Double);
     let pairs = dev::random_operand_pairs(op, 2500, 7);
-    let stats = dev::dta_campaign(bank.unit(op), &pairs, spec.clk, &[VoltageReduction::VR20]);
+    let stats = dev::dta_campaign(bank.unit(op), &pairs, spec.clk, &[VoltageReduction::VR20])
+        .expect("campaign");
     let s = &stats[0];
     assert!(s.faulty > 0, "need faulty samples to histogram");
     let multi: u64 = s
@@ -115,11 +116,13 @@ fn ber_estimate_converges_with_sample_count() {
     );
     let unit = bank.unit(op);
     let reference = dev::dta_campaign(unit, full, spec.clk, &[VoltageReduction::VR20])
+        .expect("campaign")
         .pop()
         .unwrap()
         .ber();
     let ae_of = |k: usize| {
         let sub = dev::dta_campaign(unit, &full[..k], spec.clk, &[VoltageReduction::VR20])
+            .expect("campaign")
             .pop()
             .unwrap()
             .ber();

@@ -16,8 +16,9 @@
 //!   transition-propagation arrival times (glitch-free approximation; the
 //!   Razor-style "latch keeps the old value" error model).
 //! * [`CompiledNetlist`] / [`ArrivalKernel`] — the same model compiled to
-//!   structure-of-arrays tables with a changed-net frontier: bit-identical
-//!   results, built for million-pair campaign throughput.
+//!   structure-of-arrays tables with a changed-net frontier and bit-sliced
+//!   multi-word window lanes (`W * 64` vectors per pass, autovectorized):
+//!   bit-identical results, built for million-pair campaign throughput.
 //! * [`EventSim`] — exact event-driven timed simulation with transport
 //!   delays (models glitches); the reference engine the fast one is
 //!   validated against.
@@ -59,7 +60,7 @@ pub use derating::{
 };
 pub use dta::{DtaEngine, DtaOutcome, TimingEngine};
 pub use event::{EventSim, EventSimResult, FanoutTable};
-pub use kernel::{ArrivalKernel, CompiledNetlist, WINDOW_VECTORS};
+pub use kernel::{ArrivalKernel, CompiledNetlist, Lanes, WINDOW_VECTORS};
 pub use oracle::{SafeBitSet, SlackOracle};
 pub use sim::{ArrivalSim, TwoVectorResult};
 pub use sta::{PathCensus, PathInfo, Sta};

@@ -132,4 +132,52 @@ proptest! {
             start += count - 1;
         }
     }
+
+    /// Multi-word lanes (W = 4 and W = 8) must match the reference
+    /// simulator transition for transition, with window sizes chosen to
+    /// land on, before, and past the 64-vector lane word boundaries.
+    #[test]
+    fn prop_multi_word_windows_match_sim(
+        seed in any::<u64>(),
+        n_inputs in 1usize..10,
+        n_gates in 1usize..120,
+        stream_len in 2usize..150,
+    ) {
+        let nl = random_netlist(seed, n_inputs, n_gates);
+        let c = CompiledNetlist::compile(&nl);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(4));
+        let stream: Vec<Vec<bool>> =
+            (0..stream_len).map(|_| random_inputs(&mut rng, n_inputs)).collect();
+        window_width_matches::<4>(&nl, &c, &stream)?;
+        window_width_matches::<8>(&nl, &c, &stream)?;
+    }
+}
+
+/// Drive `stream` through maximal windows of an `ArrivalKernel<W>` and
+/// compare every transition against `ArrivalSim`.
+fn window_width_matches<const W: usize>(
+    nl: &Netlist,
+    c: &CompiledNetlist,
+    stream: &[Vec<bool>],
+) -> Result<(), TestCaseError> {
+    let mut kernel = ArrivalKernel::<W>::default();
+    let mut snap = TwoVectorResult::default();
+    let mut start = 0usize;
+    while start + 1 < stream.len() {
+        let count = (stream.len() - start).min(ArrivalKernel::<W>::WINDOW_VECTORS);
+        let flat: Vec<bool> = stream[start..start + count]
+            .iter()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        kernel.load_window(c, &flat, count);
+        prop_assert_eq!(kernel.window_transitions(), count - 1);
+        for t in 0..count - 1 {
+            kernel.select_transition(c, t);
+            kernel.snapshot_into(&mut snap);
+            let reference = ArrivalSim::run(nl, &stream[start + t], &stream[start + t + 1]);
+            assert_same(&reference, &snap)?;
+        }
+        start += count - 1;
+    }
+    Ok(())
 }
