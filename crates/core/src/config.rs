@@ -111,6 +111,38 @@ pub fn default_lanes() -> usize {
     }
 }
 
+/// Arrival-engine backend for DTA campaigns (see
+/// [`crate::dev::KernelBackend`]): `auto` picks the netlist-specialized
+/// generated kernel when a fresh one exists for the unit and falls back
+/// to the interpreter otherwise; `interp` forces the interpreter;
+/// `codegen` *requires* the generated kernel. A pure throughput knob —
+/// campaign statistics are bit-identical across backends. Override with
+/// `TEI_KERNEL`. Unrecognized values warn once and fall back to `auto`.
+pub fn default_backend() -> crate::dev::KernelBackend {
+    use crate::dev::KernelBackend;
+    match std::env::var("TEI_KERNEL") {
+        Ok(v) => match v.trim() {
+            "auto" => KernelBackend::Auto,
+            "interp" => KernelBackend::Interpreter,
+            "codegen" => KernelBackend::Generated,
+            other => {
+                warn_once(
+                    "TEI_KERNEL",
+                    &format!(
+                        "unknown backend {other:?} (supported: auto, interp, codegen), using auto"
+                    ),
+                );
+                KernelBackend::Auto
+            }
+        },
+        Err(std::env::VarError::NotPresent) => KernelBackend::Auto,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            warn_once("TEI_KERNEL", "non-unicode value, using auto");
+            KernelBackend::Auto
+        }
+    }
+}
+
 /// Directory for durable campaign journals. Override with
 /// `TEI_JOURNAL_DIR`; defaults to `journal/`.
 pub fn default_journal_dir() -> std::path::PathBuf {
@@ -171,6 +203,15 @@ pub fn validate_env() -> Result<(), TeiError> {
             Ok(())
         }
     })?;
+    if let Ok(v) = std::env::var("TEI_KERNEL") {
+        let v = v.trim();
+        if !matches!(v, "auto" | "interp" | "codegen") {
+            return Err(TeiError::Config {
+                knob: "TEI_KERNEL".to_string(),
+                reason: format!("unknown backend {v:?} (supported: auto, interp, codegen)"),
+            });
+        }
+    }
     Ok(())
 }
 
@@ -215,6 +256,18 @@ mod tests {
         assert!(validate_env().is_ok());
         std::env::remove_var("TEI_LANES");
         assert_eq!(default_lanes(), 4);
+        assert!(validate_env().is_ok());
+        std::env::set_var("TEI_KERNEL", "vectorized");
+        let err = validate_env().unwrap_err();
+        assert!(err.to_string().contains("TEI_KERNEL"));
+        // The non-validating read warns once and falls back to auto.
+        assert_eq!(default_backend(), crate::dev::KernelBackend::Auto);
+        assert!(warned_knobs().contains("TEI_KERNEL"));
+        std::env::set_var("TEI_KERNEL", "codegen");
+        assert_eq!(default_backend(), crate::dev::KernelBackend::Generated);
+        assert!(validate_env().is_ok());
+        std::env::remove_var("TEI_KERNEL");
+        assert_eq!(default_backend(), crate::dev::KernelBackend::Auto);
         assert!(validate_env().is_ok());
     }
 }

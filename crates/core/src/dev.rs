@@ -14,7 +14,7 @@ use tei_fpu::{FpuBank, FpuTimingSpec, FpuUnit};
 use tei_isa::Program;
 use tei_netlist::NetId;
 use tei_softfloat::{FpOp, FpOpKind};
-use tei_timing::{ArrivalKernel, CompiledNetlist, VoltageReduction};
+use tei_timing::{interpreted_engine, ArrivalEngine, CompiledNetlist, VoltageReduction};
 use tei_uarch::FuncCore;
 
 /// Per-operation operand trace: consecutive `(a, b)` raw-bit pairs in
@@ -204,6 +204,30 @@ impl OpErrorStats {
 /// over-weight early-trace behavior).
 const MASK_CAP: usize = 50_000;
 
+/// Which arrival-engine implementation drives a campaign's inner loop.
+/// A pure throughput knob: both engines are proven byte-identical (the
+/// generated kernel is emitted from the same [`CompiledNetlist`] the
+/// interpreter walks, and the equivalence suite asserts bit-exact
+/// settle times), so statistics never depend on the choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelBackend {
+    /// Use the netlist-specialized generated kernel where it is the
+    /// measured winner (lane width >= 4) and a fresh one is registered
+    /// for the unit (tag *and* netlist fingerprint match), falling
+    /// back to the interpreted [`tei_timing::ArrivalKernel`] otherwise
+    /// (including always at `W = 1`, where the interpreter's sparse
+    /// walk wins — see [`dta_engine`]).
+    #[default]
+    Auto,
+    /// Always the interpreted kernel — the universal fallback that
+    /// handles runtime-parsed netlists and the `interp` ablation side.
+    Interpreter,
+    /// Require the generated kernel; campaigns over units without a
+    /// fresh generated kernel fail with a config error instead of
+    /// silently degrading (`TEI_KERNEL=codegen`).
+    Generated,
+}
+
 /// Tuning knobs of the DTA campaign inner loop. Tuning never changes
 /// the produced statistics — only how much work the inner loop performs
 /// and how wide its windows are.
@@ -220,10 +244,13 @@ pub struct DtaTuning {
     pub prune_safe_bits: bool,
     /// Window lane words of the bit-sliced kernel: 1, 4, or 8 `u64`s
     /// per net, i.e. 64 / 256 / 512 input vectors per whole-circuit
-    /// evaluation pass (see [`ArrivalKernel`]). Defaults to
+    /// evaluation pass (see [`tei_timing::ArrivalKernel`]). Defaults to
     /// [`config::default_lanes`] (`TEI_LANES`, 4 when unset). Campaign
     /// statistics are bit-identical at every width.
     pub lanes: usize,
+    /// Arrival-engine backend (see [`KernelBackend`]). Defaults to
+    /// [`config::default_backend`] (`TEI_KERNEL`, auto when unset).
+    pub backend: KernelBackend,
 }
 
 impl Default for DtaTuning {
@@ -231,7 +258,60 @@ impl Default for DtaTuning {
         DtaTuning {
             prune_safe_bits: true,
             lanes: config::default_lanes(),
+            backend: config::default_backend(),
         }
+    }
+}
+
+/// Construct the arrival engine that drives DTA over `unit` at `lanes`
+/// lane words under the given backend policy — the single dispatch
+/// point shared by the campaign entry points, the throughput bench's
+/// backend ablation, and the `tei codegen` CLI checks.
+///
+/// # Errors
+///
+/// [`TeiError::Config`] for a lane width outside
+/// [`config::SUPPORTED_LANES`], or when [`KernelBackend::Generated`] is
+/// requested but no fresh generated kernel exists for the unit.
+pub fn dta_engine<'u>(
+    unit: &'u FpuUnit,
+    lanes: usize,
+    backend: KernelBackend,
+) -> Result<Box<dyn ArrivalEngine + 'u>, TeiError> {
+    if !config::SUPPORTED_LANES.contains(&lanes) {
+        return Err(TeiError::Config {
+            knob: "TEI_LANES".to_string(),
+            reason: format!("unsupported lane width {lanes} (supported: 1, 4, 8)"),
+        });
+    }
+    let interp =
+        || interpreted_engine(unit.dta_compiled(), lanes).expect("lane width validated above");
+    match backend {
+        KernelBackend::Interpreter => Ok(interp()),
+        // Auto picks the measured winner per lane width: at W = 1 a
+        // single-transition batch toggles ~40% of the nets, under the
+        // interpreter's sparse-walk threshold, so its changed-list walk
+        // beats the specialized kernel's always-dense sweep (~0.8x in
+        // the BENCH_dta.json `codegen` ablation); at W >= 4 the union
+        // is dense and the generated kernel wins (1.2x at 4, 2.2x at
+        // 8). `TEI_KERNEL=codegen` still forces the generated kernel
+        // at any width.
+        KernelBackend::Auto if lanes < 4 => Ok(interp()),
+        KernelBackend::Auto => Ok(tei_kernels::registry()
+            .make_engine(unit, lanes)
+            .map(|e| e as Box<dyn ArrivalEngine + 'u>)
+            .unwrap_or_else(interp)),
+        KernelBackend::Generated => tei_kernels::registry()
+            .make_engine(unit, lanes)
+            .map(|e| e as Box<dyn ArrivalEngine + 'u>)
+            .ok_or_else(|| TeiError::Config {
+                knob: "TEI_KERNEL".to_string(),
+                reason: format!(
+                    "no fresh generated kernel for unit {} (stale fingerprint or \
+                     unregistered netlist); use `auto` or `interp`",
+                    unit.tag()
+                ),
+            }),
     }
 }
 
@@ -288,13 +368,13 @@ pub fn safe_bit_counts(unit: &FpuUnit, clk: f64, levels: &[VoltageReduction]) ->
 /// noise) are clamped to the clock period: they fail under any voltage
 /// reduction but never at nominal. Masks accumulate uncapped here;
 /// [`finalize_masks`] applies the reservoir cap after shards merge.
-fn accumulate_transition<const W: usize>(
+fn accumulate_transition(
     stats: &mut [OpErrorStats],
     factors: &[f64],
     live: &[Vec<(usize, NetId)>],
     outputs: &[NetId],
     clk: f64,
-    kernel: &ArrivalKernel<W>,
+    engine: &dyn ArrivalEngine,
 ) {
     #[cfg(not(feature = "sanitize-arrivals"))]
     let _ = outputs;
@@ -302,7 +382,7 @@ fn accumulate_transition<const W: usize>(
         s.samples += 1;
         let mut mask = 0u64;
         for &(bit, net) in bits {
-            let settle = kernel.settle_of(net).min(clk); // nominal clamp
+            let settle = engine.settle_of(net).min(clk); // nominal clamp
             if settle * k > clk {
                 mask |= 1 << bit;
                 s.bit_errors[bit] += 1;
@@ -314,7 +394,7 @@ fn accumulate_transition<const W: usize>(
         {
             let mut full = 0u64;
             for (bit, &net) in outputs.iter().enumerate() {
-                if kernel.settle_of(net).min(clk) * k > clk {
+                if engine.settle_of(net).min(clk) * k > clk {
                     full |= 1 << bit;
                 }
             }
@@ -377,21 +457,12 @@ const CHUNK_WINDOWS: usize = 4;
 const DTA_POOL: &str = "DTA campaign";
 
 /// Per-worker scratch reused across every chunk a worker claims: the
-/// kernel (lane planes, settle arrays, transposed transition masks) and
-/// the flat encode buffer are allocated once per worker thread, never
-/// per window or per chunk.
-struct WindowScratch<const W: usize> {
-    kernel: ArrivalKernel<W>,
+/// arrival engine (lane planes, settle arrays, transposed transition
+/// masks) and the flat encode buffer are allocated once per worker
+/// thread, never per window or per chunk.
+struct EngineScratch<'u> {
+    engine: Box<dyn ArrivalEngine + 'u>,
     flat: Vec<bool>,
-}
-
-impl<const W: usize> WindowScratch<W> {
-    fn new(width: usize) -> Self {
-        WindowScratch {
-            kernel: ArrivalKernel::default(),
-            flat: vec![false; ArrivalKernel::<W>::WINDOW_VECTORS * width],
-        }
-    }
 }
 
 /// One chunk's finished statistics, published exactly once by whichever
@@ -409,20 +480,20 @@ struct ChunkSlot(Mutex<Option<Vec<OpErrorStats>>>);
 ///
 /// `run_chunk(ci, scratch)` computes chunk `ci` with the worker's
 /// reusable scratch. Each worker builds its scratch once on its own
-/// thread (first-touch local allocation) and keeps per-chunk
-/// accumulation thread-local; only the finished chunk result is
-/// published.
-fn run_chunked<const W: usize>(
+/// thread via `make_scratch` (first-touch local allocation) and keeps
+/// per-chunk accumulation thread-local; only the finished chunk result
+/// is published.
+fn run_chunked<S>(
     n_chunks: usize,
     threads: usize,
-    width: usize,
+    make_scratch: impl Fn() -> S + Sync,
     empty: impl Fn() -> Vec<OpErrorStats>,
-    run_chunk: impl Fn(usize, &mut WindowScratch<W>) -> Vec<OpErrorStats> + Sync,
+    run_chunk: impl Fn(usize, &mut S) -> Vec<OpErrorStats> + Sync,
 ) -> Result<Vec<OpErrorStats>, TeiError> {
     let threads = threads.clamp(1, n_chunks.max(1));
     let mut merged = empty();
     if threads <= 1 {
-        let mut scratch = WindowScratch::<W>::new(width);
+        let mut scratch = make_scratch();
         for ci in 0..n_chunks {
             for (dst, src) in merged.iter_mut().zip(&run_chunk(ci, &mut scratch)) {
                 dst.merge(src);
@@ -436,7 +507,7 @@ fn run_chunked<const W: usize>(
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|_| {
-                    let mut scratch = WindowScratch::<W>::new(width);
+                    let mut scratch = make_scratch();
                     loop {
                         let ci = cursor.fetch_add(1, Ordering::Relaxed);
                         if ci >= n_chunks {
@@ -517,15 +588,15 @@ pub fn dta_campaign_with_threads(
 
 /// [`dta_campaign_with_threads`] with explicit [`DtaTuning`]. Tuning
 /// never changes the produced statistics — only how much work the inner
-/// loop performs and how wide its lane words are; the default (safe-bit
-/// pruning on, `TEI_LANES` lane words) is what every other entry point
-/// uses.
+/// loop performs, how wide its lane words are, and which engine backend
+/// runs it; the default (safe-bit pruning on, `TEI_LANES` lane words,
+/// `TEI_KERNEL` backend) is what every other entry point uses.
 ///
 /// # Errors
 ///
 /// [`TeiError::Config`] for a lane width outside
-/// [`config::SUPPORTED_LANES`]; [`TeiError::WorkerPool`] when a campaign
-/// worker panics.
+/// [`config::SUPPORTED_LANES`] or an unsatisfiable backend requirement;
+/// [`TeiError::WorkerPool`] when a campaign worker panics.
 pub fn dta_campaign_tuned(
     unit: &FpuUnit,
     pairs: &[(u64, u64)],
@@ -534,26 +605,10 @@ pub fn dta_campaign_tuned(
     threads: usize,
     tuning: DtaTuning,
 ) -> Result<Vec<OpErrorStats>, TeiError> {
-    match tuning.lanes {
-        1 => dta_campaign_lanes::<1>(unit, pairs, clk, levels, threads, tuning),
-        4 => dta_campaign_lanes::<4>(unit, pairs, clk, levels, threads, tuning),
-        8 => dta_campaign_lanes::<8>(unit, pairs, clk, levels, threads, tuning),
-        other => Err(TeiError::Config {
-            knob: "TEI_LANES".to_string(),
-            reason: format!("unsupported lane width {other} (supported: 1, 4, 8)"),
-        }),
-    }
-}
-
-/// The campaign inner loop, monomorphized per lane width `W`.
-fn dta_campaign_lanes<const W: usize>(
-    unit: &FpuUnit,
-    pairs: &[(u64, u64)],
-    clk: f64,
-    levels: &[VoltageReduction],
-    threads: usize,
-    tuning: DtaTuning,
-) -> Result<Vec<OpErrorStats>, TeiError> {
+    // Resolve the tuning into an engine once up front so config errors
+    // surface before any worker threads spawn; workers then build their
+    // own engine from the validated tuning.
+    drop(dta_engine(unit, tuning.lanes, tuning.backend)?);
     let outputs = unit.result_port().to_vec();
     if pairs.len() < 2 {
         return Ok(empty_stats(unit, levels, outputs.len()));
@@ -569,8 +624,13 @@ fn dta_campaign_lanes<const W: usize>(
     // index order reproduces the serial walk.
     let transitions = pairs.len() - 1;
     let width = unit.input_width();
-    let span = CHUNK_WINDOWS * (ArrivalKernel::<W>::WINDOW_VECTORS - 1);
-    let run_chunk = |ci: usize, scratch: &mut WindowScratch<W>| -> Vec<OpErrorStats> {
+    let window_vectors = tuning.lanes * 64;
+    let span = CHUNK_WINDOWS * (window_vectors - 1);
+    let make_scratch = || EngineScratch {
+        engine: dta_engine(unit, tuning.lanes, tuning.backend).expect("tuning validated above"),
+        flat: vec![false; window_vectors * width],
+    };
+    let run_chunk = |ci: usize, scratch: &mut EngineScratch| -> Vec<OpErrorStats> {
         let lo = ci * span;
         let hi = ((ci + 1) * span).min(transitions);
         let mut stats = empty_stats(unit, levels, outputs.len());
@@ -578,26 +638,33 @@ fn dta_campaign_lanes<const W: usize>(
         // vector so every transition lo..hi is covered exactly once.
         let mut start = lo;
         while start < hi {
-            let count = (hi - start + 1).min(ArrivalKernel::<W>::WINDOW_VECTORS);
+            let count = (hi - start + 1).min(window_vectors);
             for (v, &(a, b)) in pairs[start..start + count].iter().enumerate() {
                 unit.encode_inputs_into(a, b, &mut scratch.flat[v * width..(v + 1) * width]);
             }
             scratch
-                .kernel
-                .load_window(compiled, &scratch.flat[..count * width], count);
+                .engine
+                .load_window(&scratch.flat[..count * width], count);
             for t in 0..count - 1 {
-                scratch.kernel.select_transition(compiled, t);
-                accumulate_transition(&mut stats, &factors, &live, &outputs, clk, &scratch.kernel);
+                scratch.engine.select_transition(t);
+                accumulate_transition(
+                    &mut stats,
+                    &factors,
+                    &live,
+                    &outputs,
+                    clk,
+                    scratch.engine.as_ref(),
+                );
             }
             start += count - 1;
         }
         stats
     };
 
-    let mut stats = run_chunked::<W>(
+    let mut stats = run_chunked(
         transitions.div_ceil(span),
         threads,
-        width,
+        make_scratch,
         || empty_stats(unit, levels, outputs.len()),
         run_chunk,
     )?;
@@ -637,37 +704,56 @@ pub fn dta_campaign_sampled_with_threads(
     levels: &[VoltageReduction],
     threads: usize,
 ) -> Result<Vec<OpErrorStats>, TeiError> {
-    // Sampled campaigns follow the default lane width (`TEI_LANES`);
-    // the result is bit-identical at every width.
-    match DtaTuning::default().lanes {
-        1 => dta_campaign_sampled_lanes::<1>(unit, trace, indices, clk, levels, threads),
-        8 => dta_campaign_sampled_lanes::<8>(unit, trace, indices, clk, levels, threads),
-        _ => dta_campaign_sampled_lanes::<4>(unit, trace, indices, clk, levels, threads),
-    }
+    // Sampled campaigns follow the default tuning (`TEI_LANES`,
+    // `TEI_KERNEL`); the result is bit-identical for every setting.
+    dta_campaign_sampled_tuned(
+        unit,
+        trace,
+        indices,
+        clk,
+        levels,
+        threads,
+        DtaTuning::default(),
+    )
 }
 
-/// The sampled-campaign inner loop, monomorphized per lane width `W`.
-fn dta_campaign_sampled_lanes<const W: usize>(
+/// [`dta_campaign_sampled_with_threads`] with explicit [`DtaTuning`].
+///
+/// # Errors
+///
+/// [`TeiError::Config`] for a lane width outside
+/// [`config::SUPPORTED_LANES`] or an unsatisfiable backend requirement;
+/// [`TeiError::WorkerPool`] when a campaign worker panics.
+pub fn dta_campaign_sampled_tuned(
     unit: &FpuUnit,
     trace: &[(u64, u64)],
     indices: &[usize],
     clk: f64,
     levels: &[VoltageReduction],
     threads: usize,
+    tuning: DtaTuning,
 ) -> Result<Vec<OpErrorStats>, TeiError> {
+    // Validate up front (and fail instead of silently coercing an
+    // unsupported lane width); workers build from the validated tuning.
+    drop(dta_engine(unit, tuning.lanes, tuning.backend)?);
     let outputs = unit.result_port().to_vec();
     let compiled = unit.dta_compiled();
     let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
-    let live = live_bits(compiled, &outputs, &factors, clk, DtaTuning::default());
+    let live = live_bits(compiled, &outputs, &factors, clk, tuning);
 
     // Sampled transitions are disjoint, so each window packs
     // `prev, cur` vector pairs and analyzes the even transitions only
     // (odd lanes straddle unrelated samples). Chunk ci covers a
     // contiguous run of sample indices; index order is preserved.
     let width = unit.input_width();
-    let samples_per_window = ArrivalKernel::<W>::WINDOW_VECTORS / 2;
+    let window_vectors = tuning.lanes * 64;
+    let samples_per_window = window_vectors / 2;
     let span = CHUNK_WINDOWS * samples_per_window;
-    let run_chunk = |ci: usize, scratch: &mut WindowScratch<W>| -> Vec<OpErrorStats> {
+    let make_scratch = || EngineScratch {
+        engine: dta_engine(unit, tuning.lanes, tuning.backend).expect("tuning validated above"),
+        flat: vec![false; window_vectors * width],
+    };
+    let run_chunk = |ci: usize, scratch: &mut EngineScratch| -> Vec<OpErrorStats> {
         let slice = &indices[ci * span..((ci + 1) * span).min(indices.len())];
         let mut stats = empty_stats(unit, levels, outputs.len());
         for chunk in slice.chunks(samples_per_window) {
@@ -687,20 +773,27 @@ fn dta_campaign_sampled_lanes<const W: usize>(
                 );
             }
             scratch
-                .kernel
-                .load_window(compiled, &scratch.flat[..count * width], count);
+                .engine
+                .load_window(&scratch.flat[..count * width], count);
             for j in 0..chunk.len() {
-                scratch.kernel.select_transition(compiled, 2 * j);
-                accumulate_transition(&mut stats, &factors, &live, &outputs, clk, &scratch.kernel);
+                scratch.engine.select_transition(2 * j);
+                accumulate_transition(
+                    &mut stats,
+                    &factors,
+                    &live,
+                    &outputs,
+                    clk,
+                    scratch.engine.as_ref(),
+                );
             }
         }
         stats
     };
 
-    let mut stats = run_chunked::<W>(
+    let mut stats = run_chunked(
         indices.len().div_ceil(span),
         threads,
-        width,
+        make_scratch,
         || empty_stats(unit, levels, outputs.len()),
         run_chunk,
     )?;
@@ -916,14 +1009,14 @@ mod tests {
     fn chunked_merge_preserves_chunk_order() {
         let op = FpOp::new(FpOpKind::Add, Precision::Single);
         let empty = || vec![OpErrorStats::empty(op, VoltageReduction::VR20, 8)];
-        let run = |ci: usize, _s: &mut WindowScratch<1>| {
+        let run = |ci: usize, _s: &mut ()| {
             let mut v = empty();
             v[0].samples = 1;
             v[0].masks = vec![ci as u64];
             v
         };
         for threads in [1usize, 2, 5, 32] {
-            let merged = run_chunked::<1>(17, threads, 4, empty, run).expect("pool");
+            let merged = run_chunked(17, threads, || (), empty, run).expect("pool");
             assert_eq!(merged[0].samples, 17);
             let want: Vec<u64> = (0..17).collect();
             assert_eq!(
@@ -937,11 +1030,11 @@ mod tests {
     fn worker_panic_surfaces_as_pool_error() {
         let op = FpOp::new(FpOpKind::Add, Precision::Single);
         let empty = || vec![OpErrorStats::empty(op, VoltageReduction::VR20, 8)];
-        let run = |ci: usize, _s: &mut WindowScratch<1>| -> Vec<OpErrorStats> {
+        let run = |ci: usize, _s: &mut ()| -> Vec<OpErrorStats> {
             assert!(ci != 3, "injected worker fault");
             empty()
         };
-        let err = run_chunked::<1>(8, 2, 4, empty, run).expect_err("must not succeed");
+        let err = run_chunked(8, 2, || (), empty, run).expect_err("must not succeed");
         assert!(
             matches!(err, TeiError::WorkerPool(_)),
             "worker panic must surface as a typed pool error, got {err}"
@@ -970,5 +1063,32 @@ mod tests {
             matches!(err, TeiError::Config { .. }),
             "unsupported lanes must be a config error, got {err}"
         );
+    }
+
+    #[test]
+    fn every_backend_produces_identical_stats() {
+        let (bank, spec) = default_bank();
+        let op = FpOp::new(FpOpKind::Add, Precision::Single);
+        let unit = bank.unit(op);
+        let pairs = random_operand_pairs(op, 300, 11);
+        let levels = [VoltageReduction::VR15, VoltageReduction::VR20];
+        let runs: Vec<String> = [
+            KernelBackend::Interpreter,
+            KernelBackend::Generated,
+            KernelBackend::Auto,
+        ]
+        .into_iter()
+        .map(|backend| {
+            let tuning = DtaTuning {
+                backend,
+                ..DtaTuning::default()
+            };
+            let stats = dta_campaign_tuned(unit, &pairs, spec.clk, &levels, 2, tuning)
+                .expect("campaign succeeds");
+            serde_json::to_string(&stats).expect("stats serialize")
+        })
+        .collect();
+        assert_eq!(runs[0], runs[1], "interpreter vs generated kernel");
+        assert_eq!(runs[0], runs[2], "interpreter vs auto dispatch");
     }
 }

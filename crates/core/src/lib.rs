@@ -61,7 +61,7 @@ pub mod stats;
 pub use campaign::{
     CampaignConfig, CampaignResult, GoldenRun, Outcome, OutcomeCounts, QuarantinedRun, ReplayMode,
 };
-pub use dev::{DaCalibration, DtaTuning, OpErrorStats, TraceSet};
+pub use dev::{DaCalibration, DtaTuning, KernelBackend, OpErrorStats, TraceSet};
 pub use error::TeiError;
 pub use journal::{atomic_write, atomic_write_checksummed, fnv64, CampaignManifest, Journal};
 pub use models::{DaModel, InjectionModel, MaskSampling, ModelKind, StatModel};

@@ -8,8 +8,9 @@
 
 use std::collections::BTreeMap;
 use tei_core::dev::{
-    dta_campaign_sampled_with_threads, dta_campaign_tuned, dta_campaign_with_threads,
-    random_operand_pairs, safe_bit_counts, DtaTuning, OpErrorStats,
+    dta_campaign_sampled_tuned, dta_campaign_sampled_with_threads, dta_campaign_tuned,
+    dta_campaign_with_threads, random_operand_pairs, safe_bit_counts, DtaTuning, KernelBackend,
+    OpErrorStats,
 };
 use tei_fpu::{FpuTimingSpec, FpuUnit};
 use tei_softfloat::{FpOp, FpOpKind, Precision};
@@ -99,10 +100,13 @@ fn parallel_campaign_equals_serial_byte_for_byte() {
 }
 
 /// The tentpole equivalence matrix: every supported lane width, serial
-/// and parallel, with and without safe-bit pruning, must reproduce the
-/// interpreted `ArrivalSim` reference byte for byte. Under the
-/// `sanitize-arrivals` feature the campaign inner loop additionally
-/// cross-checks every pruned mask against a full bit scan.
+/// and parallel, with and without safe-bit pruning, on **both** engine
+/// backends (interpreted `ArrivalKernel` and the netlist-specialized
+/// generated kernel), must reproduce the interpreted `ArrivalSim`
+/// reference byte for byte — a 3-way interpreter/codegen/`ArrivalSim`
+/// agreement. Under the `sanitize-arrivals` feature the campaign inner
+/// loop additionally cross-checks every pruned mask against a full bit
+/// scan.
 #[test]
 fn lane_widths_match_arrival_sim_byte_for_byte() {
     let (unit, spec) = test_unit();
@@ -110,27 +114,30 @@ fn lane_widths_match_arrival_sim_byte_for_byte() {
         let pairs = random_operand_pairs(unit.op(), 403, seed);
         let reference = serde_json::to_string(&sim_reference(unit, &pairs, spec.clk, &LEVELS))
             .expect("serialize reference");
-        for lanes in [1usize, 4, 8] {
-            for threads in [1usize, 3] {
-                for prune_safe_bits in [true, false] {
-                    let got = dta_campaign_tuned(
-                        unit,
-                        &pairs,
-                        spec.clk,
-                        &LEVELS,
-                        threads,
-                        DtaTuning {
-                            prune_safe_bits,
-                            lanes,
-                        },
-                    )
-                    .expect("campaign");
-                    assert_eq!(
-                        serde_json::to_string(&got).expect("serialize campaign"),
-                        reference,
-                        "lanes={lanes} threads={threads} prune={prune_safe_bits} \
-                         seed={seed:#x} diverged from ArrivalSim"
-                    );
+        for backend in [KernelBackend::Interpreter, KernelBackend::Generated] {
+            for lanes in [1usize, 4, 8] {
+                for threads in [1usize, 3] {
+                    for prune_safe_bits in [true, false] {
+                        let got = dta_campaign_tuned(
+                            unit,
+                            &pairs,
+                            spec.clk,
+                            &LEVELS,
+                            threads,
+                            DtaTuning {
+                                prune_safe_bits,
+                                lanes,
+                                backend,
+                            },
+                        )
+                        .expect("campaign");
+                        assert_eq!(
+                            serde_json::to_string(&got).expect("serialize campaign"),
+                            reference,
+                            "backend={backend:?} lanes={lanes} threads={threads} \
+                             prune={prune_safe_bits} seed={seed:#x} diverged from ArrivalSim"
+                        );
+                    }
                 }
             }
         }
@@ -153,6 +160,27 @@ fn parallel_sampled_campaign_equals_serial_byte_for_byte() {
             serde_json::to_string(&serial).expect("serialize serial"),
             serde_json::to_string(&parallel).expect("serialize parallel"),
             "{threads}-thread sampled campaign diverged from serial"
+        );
+    }
+    // The generated backend must reproduce the same sampled statistics.
+    for backend in [KernelBackend::Interpreter, KernelBackend::Generated] {
+        let tuned = dta_campaign_sampled_tuned(
+            unit,
+            &trace,
+            &indices,
+            spec.clk,
+            &LEVELS,
+            3,
+            DtaTuning {
+                backend,
+                ..DtaTuning::default()
+            },
+        )
+        .expect("tuned sampled campaign");
+        assert_eq!(
+            serde_json::to_string(&serial).expect("serialize serial"),
+            serde_json::to_string(&tuned).expect("serialize tuned"),
+            "sampled campaign on {backend:?} diverged from serial"
         );
     }
 }

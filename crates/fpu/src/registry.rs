@@ -1,0 +1,82 @@
+//! Per-unit registry of netlist-specialized arrival kernels.
+//!
+//! The `tei-kernels` crate emits one straight-line kernel per shipped
+//! FPU unit at build time (see `tei_timing::codegen`) and registers a
+//! constructor for each here. The registry lives in this crate — not in
+//! the generated-kernels crate — because generation *build-depends* on
+//! `tei-fpu` (the build script regenerates the bank to emit from), so
+//! the type the generated table populates must sit below it in the
+//! crate graph.
+//!
+//! Lookup is fingerprint-checked: an entry only matches when both the
+//! unit tag and the structural fingerprint of the unit's compiled DTA
+//! netlist agree with what the kernel was emitted from. A stale kernel
+//! (datapath builder changed, delays recalibrated, γ shifted) therefore
+//! never silently computes against the wrong circuit — callers fall
+//! back to the interpreted kernel, and the CI staleness check turns the
+//! mismatch into a hard failure.
+
+use crate::FpuUnit;
+use tei_timing::ArrivalEngine;
+
+/// One generated kernel: its unit tag, the fingerprint of the compiled
+/// netlist it was emitted from, and a constructor producing a boxed
+/// engine at a requested lane width (1, 4, or 8; `None` for widths the
+/// kernel was not instantiated at).
+pub struct KernelEntry {
+    /// Unit tag the kernel was generated for (e.g. `fp-mul-d`).
+    pub tag: &'static str,
+    /// [`CompiledNetlist::fingerprint`](tei_timing::CompiledNetlist::fingerprint)
+    /// of the netlist the kernel was emitted from.
+    pub fingerprint: u64,
+    /// Build an engine at the given lane width.
+    pub make: fn(usize) -> Option<Box<dyn ArrivalEngine>>,
+}
+
+/// The set of generated kernels shipped with a build, queried by the
+/// campaign dispatch in `tei-core` and the `tei codegen` CLI checks.
+#[derive(Default)]
+pub struct KernelRegistry {
+    entries: Vec<KernelEntry>,
+}
+
+impl KernelRegistry {
+    /// A registry over `entries`.
+    pub fn new(entries: Vec<KernelEntry>) -> Self {
+        KernelRegistry { entries }
+    }
+
+    /// All registered kernels.
+    pub fn entries(&self) -> &[KernelEntry] {
+        &self.entries
+    }
+
+    /// The entry generated for `tag`, regardless of freshness — used by
+    /// staleness checks that want to *report* a fingerprint mismatch.
+    pub fn entry_for_tag(&self, tag: &str) -> Option<&KernelEntry> {
+        self.entries.iter().find(|e| e.tag == tag)
+    }
+
+    /// The entry matching both `tag` and `fingerprint`, i.e. a kernel
+    /// provably emitted from that exact compiled netlist.
+    pub fn lookup(&self, tag: &str, fingerprint: u64) -> Option<&KernelEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.tag == tag && e.fingerprint == fingerprint)
+    }
+
+    /// A generated engine for `unit` at `lanes` lane words, or `None`
+    /// when no fresh kernel exists (unknown tag, stale fingerprint, or
+    /// unsupported width) — the caller's cue to fall back to the
+    /// interpreter.
+    pub fn make_engine(&self, unit: &FpuUnit, lanes: usize) -> Option<Box<dyn ArrivalEngine>> {
+        let entry = self.lookup(unit.tag(), unit.dta_compiled().fingerprint())?;
+        (entry.make)(lanes)
+    }
+
+    /// Whether a fresh generated kernel exists for `unit`.
+    pub fn covers(&self, unit: &FpuUnit) -> bool {
+        self.lookup(unit.tag(), unit.dta_compiled().fingerprint())
+            .is_some()
+    }
+}

@@ -1,0 +1,106 @@
+//! Phase-level timing probe for the generated kernels: times the
+//! plane pass and the settle pass of the generated program, the
+//! `DynProgram` control (same pass structure, interpreted loop, same
+//! crate and opt-level), and the interpreted engine's full
+//! `select_transition` walk, on the d-mul unit at W = 4 and W = 8.
+//!
+//! ```text
+//! cargo run --release -p tei-kernels --example phase_timing
+//! ```
+
+use std::time::Instant;
+use tei_fpu::{FpuBank, FpuTimingSpec, FpuUnit};
+use tei_timing::{interpreted_engine, ArrivalEngine, DynProgram, SpecializedKernel};
+
+fn drive(
+    engine: &mut dyn ArrivalEngine,
+    probe: tei_netlist::NetId,
+    flat: &[bool],
+    count: usize,
+    windows: usize,
+) -> f64 {
+    // Phase split: windows/sec of the plane pass alone (load_window),
+    // then the settle walk on a loaded window.
+    let start = Instant::now();
+    for _ in 0..windows {
+        engine.load_window(flat, count);
+        std::hint::black_box(engine.window_transitions());
+    }
+    let plane_secs = start.elapsed().as_secs_f64() / windows as f64;
+
+    let start = Instant::now();
+    let mut transitions = 0usize;
+    for _ in 0..windows {
+        engine.load_window(flat, count);
+        for t in 0..engine.window_transitions() {
+            engine.select_transition(t);
+            std::hint::black_box(engine.settle_of(probe));
+        }
+        transitions += engine.window_transitions();
+    }
+    let rate = transitions as f64 / start.elapsed().as_secs_f64();
+    println!("    plane pass: {:.1} ms/window", plane_secs * 1e3);
+    rate
+}
+
+fn probe_width<const W: usize>(unit: &FpuUnit) {
+    let compiled = unit.dta_compiled();
+    let width = unit.input_width();
+    let vectors = W * 64;
+
+    let mut state = 0x1234_5678_9abc_def0u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut flat = vec![false; vectors * width];
+    for v in 0..vectors {
+        let (a, b) = (rng(), rng());
+        unit.encode_inputs_into(a, b, &mut flat[v * width..(v + 1) * width]);
+    }
+
+    let windows = 8;
+    // Probe an output-port settle — the access the campaign makes and
+    // the one every engine (including compacted plans) must expose.
+    let probe = unit.result_port()[0];
+    println!("== {} W={W} ==", unit.tag());
+    let mut interp = interpreted_engine(compiled, W).expect("interp engine");
+    let rate = drive(interp.as_mut(), probe, &flat, vectors, windows);
+    println!("interp       full walk: {rate:>10.0} transitions/s");
+
+    let mut dynk = SpecializedKernel::<_, W>::new(DynProgram::new(compiled));
+    let rate = drive(&mut dynk, probe, &flat, vectors, windows);
+    println!("dyn-full     full walk: {rate:>10.0} transitions/s");
+
+    let keep: Vec<u32> = unit
+        .result_port()
+        .iter()
+        .map(|n| n.index() as u32)
+        .collect();
+    let mut dync = SpecializedKernel::<_, W>::new(DynProgram::compacted(compiled, &keep));
+    println!(
+        "    compacted slots: {} of {} dense",
+        dync.program().plan().slot_count,
+        compiled.len() + 1
+    );
+    let rate = drive(&mut dync, probe, &flat, vectors, windows);
+    println!("dyn-compact  full walk: {rate:>10.0} transitions/s");
+
+    let mut genk = tei_kernels::registry()
+        .make_engine(unit, W)
+        .expect("generated engine");
+    let rate = drive(genk.as_mut(), probe, &flat, vectors, windows);
+    println!("generated    full walk: {rate:>10.0} transitions/s");
+}
+
+fn main() {
+    let bank = FpuBank::generate(&FpuTimingSpec::paper_calibrated());
+    let unit = bank
+        .iter()
+        .find(|u| u.tag() == "fp-mul-d")
+        .expect("d-mul unit");
+    probe_width::<4>(unit);
+    probe_width::<8>(unit);
+}

@@ -1,0 +1,142 @@
+//! The generated kernels are only trustworthy if they are (a) emitted
+//! from the netlists this build actually ships and (b) byte-identical
+//! to the interpreted `ArrivalKernel` on real operand traffic. Both are
+//! asserted here against a freshly regenerated bank.
+//!
+//! Debug builds drive a reduced matrix (fewer units × lane widths ×
+//! windows) to keep `cargo test -q` quick; release builds sweep every
+//! unit at every supported width.
+
+use std::sync::OnceLock;
+
+use tei_fpu::{FpuBank, FpuTimingSpec, FpuUnit};
+use tei_kernels::registry;
+use tei_timing::interpreted_engine;
+
+fn bank() -> &'static FpuBank {
+    static BANK: OnceLock<FpuBank> = OnceLock::new();
+    BANK.get_or_init(|| FpuBank::generate(&FpuTimingSpec::paper_calibrated()))
+}
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Every registry entry must carry the fingerprint of the unit's
+/// *current* compiled netlist — i.e. the shipped kernels were emitted
+/// from exactly the circuits this build generates. A mismatch here
+/// means the generated sources are stale relative to the datapath
+/// builders or calibration.
+#[test]
+fn registry_is_fresh_for_regenerated_bank() {
+    for unit in bank().iter() {
+        let entry = registry()
+            .entry_for_tag(unit.tag())
+            .unwrap_or_else(|| panic!("no generated kernel registered for {}", unit.tag()));
+        assert_eq!(
+            entry.fingerprint,
+            unit.dta_compiled().fingerprint(),
+            "generated kernel for {} is stale (regenerate tei-kernels)",
+            unit.tag()
+        );
+        assert!(registry().covers(unit));
+    }
+}
+
+/// Drive the interpreted and generated engines through the same
+/// operand windows and require bit-exact agreement at every
+/// transition: every net's value and toggle flag, and the settle time
+/// of every net the generated kernel exposes — which must include the
+/// full result port, the set the campaign thresholds (internal nets
+/// have their settle slots recycled by the emitter's liveness
+/// compaction; see `tei_timing::codegen`).
+fn assert_engines_match(unit: &FpuUnit, lanes: usize, windows: usize, seed: u64) {
+    let compiled = unit.dta_compiled();
+    let mut interp = interpreted_engine(compiled, lanes).expect("supported lane width");
+    let mut gen = registry()
+        .make_engine(unit, lanes)
+        .unwrap_or_else(|| panic!("no fresh kernel for {} at W={lanes}", unit.tag()));
+    assert_eq!(gen.lanes(), lanes);
+    for &net in unit.result_port() {
+        assert!(
+            gen.settle_exposed(net),
+            "{}: result-port net {} must stay exposed",
+            unit.tag(),
+            net.index()
+        );
+    }
+
+    let width = unit.input_width();
+    let vectors = interp.window_vectors();
+    assert_eq!(vectors, gen.window_vectors());
+    let mut rng = SplitMix(seed);
+    let mut flat = vec![false; vectors * width];
+    for _ in 0..windows {
+        for v in 0..vectors {
+            let (a, b) = (rng.next(), rng.next());
+            unit.encode_inputs_into(a, b, &mut flat[v * width..(v + 1) * width]);
+        }
+        interp.load_window(&flat, vectors);
+        gen.load_window(&flat, vectors);
+        assert_eq!(interp.window_transitions(), gen.window_transitions());
+        for t in 0..interp.window_transitions() {
+            interp.select_transition(t);
+            gen.select_transition(t);
+            for net in 0..compiled.len() {
+                let id = tei_netlist::NetId::from_index(net);
+                assert_eq!(
+                    interp.cur(id),
+                    gen.cur(id),
+                    "{} W={lanes} t={t} net {net}: value",
+                    unit.tag()
+                );
+                assert_eq!(
+                    interp.changed(id),
+                    gen.changed(id),
+                    "{} W={lanes} t={t} net {net}: toggle",
+                    unit.tag()
+                );
+                if gen.settle_exposed(id) {
+                    assert_eq!(
+                        interp.settle_of(id).to_bits(),
+                        gen.settle_of(id).to_bits(),
+                        "{} W={lanes} t={t} net {net}: settle",
+                        unit.tag()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn generated_kernels_match_interpreter_bit_exactly() {
+    let (units, lane_widths, windows): (&[&str], &[usize], usize) = if cfg!(debug_assertions) {
+        (&["fp-add-s", "i2f-s", "f2i-s"], &[1, 4], 1)
+    } else {
+        (
+            &[
+                "fp-add-s", "fp-add-d", "fp-sub-s", "fp-sub-d", "fp-mul-s", "fp-mul-d", "fp-div-s",
+                "fp-div-d", "i2f-s", "i2f-d", "f2i-s", "f2i-d",
+            ],
+            &[1, 4, 8],
+            2,
+        )
+    };
+    for unit in bank().iter() {
+        if !units.contains(&unit.tag()) {
+            continue;
+        }
+        for (k, &lanes) in lane_widths.iter().enumerate() {
+            assert_engines_match(unit, lanes, windows, 0xD7A5_0000 + k as u64);
+        }
+    }
+}

@@ -16,6 +16,14 @@ impl NetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The net at gate-array index `i` — inverse of [`NetId::index`].
+    /// Nets are densely numbered in creation (= topological) order, so
+    /// sweeping `0..netlist.len()` visits every net exactly once.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        NetId(u32::try_from(i).expect("net index fits in u32"))
+    }
 }
 
 impl fmt::Display for NetId {
@@ -103,6 +111,27 @@ impl Netlist {
     #[inline]
     pub fn gate(&self, net: NetId) -> &Gate {
         &self.gates[net.index()]
+    }
+
+    /// Per-net logic depth: inputs and constants at level 0, every
+    /// other gate one past its deepest fanin. Computed in one pass over
+    /// the (topologically ordered) gate list, so the result is a
+    /// deterministic function of the netlist structure — the stable
+    /// gate/level order the codegen emitter annotates its straight-line
+    /// blocks with.
+    pub fn levelize(&self) -> Vec<u32> {
+        let mut levels = vec![0u32; self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            let deepest = g.fanin().iter().map(|p| levels[p.index()]).max();
+            if let Some(d) = deepest {
+                debug_assert!(
+                    g.fanin().iter().all(|p| p.index() < i),
+                    "netlist must be topologically ordered"
+                );
+                levels[i] = d + 1;
+            }
+        }
+        levels
     }
 
     /// Primary inputs in declaration order.
@@ -569,6 +598,25 @@ mod tests {
         assert_eq!(swept.block_names(), nl.block_names());
         // Sweeping an already-clean netlist is the identity on size.
         assert_eq!(swept.sweep_dead().len(), swept.len());
+    }
+
+    #[test]
+    fn levelize_tracks_logic_depth() {
+        let mut nl = Netlist::new("t", CellLibrary::unit());
+        let a = nl.add_input_bit();
+        let b = nl.add_input_bit();
+        let x = nl.and(a, b); // level 1
+        let y = nl.xor(x, a); // level 2
+        let k = nl.const_bit(true); // level 0
+        let z = nl.or(y, k); // level 3
+        nl.mark_output_bus("o", &[z]);
+        let levels = nl.levelize();
+        assert_eq!(levels[a.index()], 0);
+        assert_eq!(levels[k.index()], 0);
+        assert_eq!(levels[x.index()], 1);
+        assert_eq!(levels[y.index()], 2);
+        assert_eq!(levels[z.index()], 3);
+        assert_eq!(nl.levelize(), levels, "deterministic");
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub type Lanes<const W: usize> = [u64; W];
 
 /// Bit `v` of a multi-word lane.
 #[inline(always)]
-fn lane_bit<const W: usize>(lane: &Lanes<W>, v: usize) -> bool {
+pub(crate) fn lane_bit<const W: usize>(lane: &Lanes<W>, v: usize) -> bool {
     (lane[v >> 6] >> (v & 63)) & 1 == 1
 }
 
@@ -290,6 +290,67 @@ impl CompiledNetlist {
     /// Number of primary inputs.
     pub fn input_count(&self) -> usize {
         self.inputs.len()
+    }
+
+    /// FNV-1a structural fingerprint over everything the arrival kernel
+    /// evaluates: gate count, opcodes, pin table, exact delay bits, and
+    /// the primary-input order. Two compiled netlists with equal
+    /// fingerprints produce identical kernel results for identical input
+    /// streams, which is what lets a generated specialized kernel (see
+    /// [`codegen`](crate::codegen)) prove at runtime that it was emitted
+    /// from *this* netlist — a mismatch (changed datapath builder,
+    /// recalibrated delays) falls back to the interpreter instead of
+    /// silently computing against a stale circuit.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        };
+        for b in (self.n as u64).to_le_bytes() {
+            eat(b);
+        }
+        for &k in &self.kinds {
+            eat(k);
+        }
+        for p in &self.pins {
+            for b in p.to_le_bytes() {
+                eat(b);
+            }
+        }
+        for d in &self.delays {
+            for b in d.to_bits().to_le_bytes() {
+                eat(b);
+            }
+        }
+        for i in &self.inputs {
+            for b in i.to_le_bytes() {
+                eat(b);
+            }
+        }
+        h
+    }
+
+    /// Per-gate opcodes (`GateKind as u8`), for the codegen emitter.
+    pub(crate) fn kinds(&self) -> &[u8] {
+        &self.kinds
+    }
+
+    /// The padded stride-3 pin table, for the codegen emitter.
+    pub(crate) fn pins(&self) -> &[u32] {
+        &self.pins
+    }
+
+    /// The compiled per-gate delays, for the codegen emitter.
+    pub(crate) fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// Primary input nets in declaration order, for the codegen emitter.
+    pub(crate) fn input_nets(&self) -> &[u32] {
+        &self.inputs
     }
 
     #[inline]

@@ -45,8 +45,10 @@
 //! assert!(k > 1.0, "reduced voltage inflates delay");
 //! ```
 
+pub mod codegen;
 mod derating;
 mod dta;
+mod engine;
 mod event;
 mod kernel;
 mod oracle;
@@ -54,11 +56,13 @@ mod sim;
 mod sta;
 mod vcd;
 
+pub use codegen::{emit_program, DynProgram, NetlistProgram, SettlePlan, SpecializedKernel};
 pub use derating::{
     overclock_factor, AgingModel, AlphaPowerLaw, DeratingModel, OperatingPoint, TemperatureModel,
     VoltageReduction,
 };
 pub use dta::{DtaEngine, DtaOutcome, TimingEngine};
+pub use engine::{interpreted_engine, ArrivalEngine, InterpretedEngine};
 pub use event::{EventSim, EventSimResult, FanoutTable};
 pub use kernel::{ArrivalKernel, CompiledNetlist, Lanes, WINDOW_VECTORS};
 pub use oracle::{SafeBitSet, SlackOracle};

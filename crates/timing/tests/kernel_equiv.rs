@@ -3,12 +3,20 @@
 //! bit-identical settle times on random DAGs, both for isolated
 //! two-vector runs and for chained `advance` streams (the DTA campaign
 //! access pattern, where each pair reuses the previous circuit state).
+//!
+//! The final property widens this into the 3-way engine matrix: the
+//! interpreted engine and the codegen runtime (a [`SpecializedKernel`]
+//! over [`DynProgram`], the exact `ops`/plane/settle pipeline emitted
+//! kernels run) against `ArrivalSim`, at every supported lane width.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use tei_netlist::{CellLibrary, GateKind, Netlist};
-use tei_timing::{ArrivalKernel, ArrivalSim, CompiledNetlist, TwoVectorResult};
+use tei_netlist::{CellLibrary, GateKind, NetId, Netlist};
+use tei_timing::{
+    ArrivalEngine, ArrivalKernel, ArrivalSim, CompiledNetlist, DynProgram, InterpretedEngine,
+    SpecializedKernel, TwoVectorResult,
+};
 
 /// Build a random topologically-ordered DAG over `n_inputs` inputs.
 fn random_netlist(seed: u64, n_inputs: usize, n_gates: usize) -> Netlist {
@@ -151,6 +159,121 @@ proptest! {
         window_width_matches::<4>(&nl, &c, &stream)?;
         window_width_matches::<8>(&nl, &c, &stream)?;
     }
+
+    /// 3-way engine matrix: at every lane width, the interpreted engine
+    /// and the codegen runtime must both reproduce `ArrivalSim` — and
+    /// each other — transition for transition: identical values, toggle
+    /// flags, and bit-exact settle times on every net.
+    #[test]
+    fn prop_engine_matrix_matches_sim(
+        seed in any::<u64>(),
+        n_inputs in 1usize..10,
+        n_gates in 1usize..120,
+        stream_len in 2usize..150,
+    ) {
+        let nl = random_netlist(seed, n_inputs, n_gates);
+        let c = CompiledNetlist::compile(&nl);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(5));
+        let stream: Vec<Vec<bool>> =
+            (0..stream_len).map(|_| random_inputs(&mut rng, n_inputs)).collect();
+        engine_matrix_matches::<1>(&nl, &c, &stream)?;
+        engine_matrix_matches::<4>(&nl, &c, &stream)?;
+        engine_matrix_matches::<8>(&nl, &c, &stream)?;
+    }
+}
+
+/// Drive `stream` through maximal windows of both [`ArrivalEngine`]
+/// implementations at width `W` and pin each transition to the
+/// `ArrivalSim` reference (snapshot plus per-net point queries).
+fn engine_matrix_matches<const W: usize>(
+    nl: &Netlist,
+    c: &CompiledNetlist,
+    stream: &[Vec<bool>],
+) -> Result<(), TestCaseError> {
+    let n_inputs = stream[0].len();
+    let mut interp = InterpretedEngine::<W>::new(c);
+    let mut codegen = SpecializedKernel::<_, W>::new(DynProgram::new(c));
+    // The liveness-compacted plan the emitter bakes into shipped
+    // kernels, keeping an arbitrary subset (every third net plus the
+    // sink) exposed.
+    let keep: Vec<u32> = (0..c.len() as u32)
+        .filter(|&i| i % 3 == 0 || i as usize == c.len() - 1)
+        .collect();
+    let mut compact = SpecializedKernel::<_, W>::new(DynProgram::compacted(c, &keep));
+    prop_assert_eq!(interp.lanes(), W);
+    prop_assert_eq!(codegen.lanes(), W);
+    let mut snap_i = TwoVectorResult::default();
+    let mut snap_c = TwoVectorResult::default();
+    let mut start = 0usize;
+    while start + 1 < stream.len() {
+        let count = (stream.len() - start).min(W * 64);
+        let flat: Vec<bool> = stream[start..start + count]
+            .iter()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        interp.load_window(&flat, count);
+        codegen.load_window(&flat[..count * n_inputs], count);
+        compact.load_window(&flat[..count * n_inputs], count);
+        prop_assert_eq!(interp.window_transitions(), count - 1);
+        prop_assert_eq!(codegen.window_transitions(), count - 1);
+        for t in 0..count - 1 {
+            interp.select_transition(t);
+            codegen.select_transition(t);
+            compact.select_transition(t);
+            let reference = ArrivalSim::run(nl, &stream[start + t], &stream[start + t + 1]);
+            interp.snapshot_into(&mut snap_i);
+            codegen.snapshot_into(&mut snap_c);
+            assert_same(&reference, &snap_i)?;
+            assert_same(&reference, &snap_c)?;
+            for net in 0..c.len() {
+                let id = NetId::from_index(net);
+                prop_assert_eq!(interp.cur(id), codegen.cur(id), "cur net {}", net);
+                prop_assert_eq!(interp.prev(id), codegen.prev(id), "prev net {}", net);
+                prop_assert_eq!(
+                    interp.changed(id),
+                    codegen.changed(id),
+                    "changed net {}",
+                    net
+                );
+                prop_assert_eq!(
+                    interp.settle_of(id).to_bits(),
+                    codegen.settle_of(id).to_bits(),
+                    "settle net {}: interp {} vs codegen {}",
+                    net,
+                    interp.settle_of(id),
+                    codegen.settle_of(id)
+                );
+                // Compacted plan: values and toggles on every net;
+                // settle only where the plan kept the slot alive.
+                prop_assert_eq!(interp.cur(id), compact.cur(id), "compact cur net {}", net);
+                prop_assert_eq!(
+                    interp.changed(id),
+                    compact.changed(id),
+                    "compact changed net {}",
+                    net
+                );
+                if compact.settle_exposed(id) {
+                    prop_assert_eq!(
+                        interp.settle_of(id).to_bits(),
+                        compact.settle_of(id).to_bits(),
+                        "compact settle net {}: interp {} vs compact {}",
+                        net,
+                        interp.settle_of(id),
+                        compact.settle_of(id)
+                    );
+                }
+            }
+            for &k in &keep {
+                prop_assert!(
+                    compact.settle_exposed(NetId::from_index(k as usize)),
+                    "kept net {} must stay exposed",
+                    k
+                );
+            }
+        }
+        start += count - 1;
+    }
+    Ok(())
 }
 
 /// Drive `stream` through maximal windows of an `ArrivalKernel<W>` and

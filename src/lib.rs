@@ -14,10 +14,12 @@
 //! * [`uarch`] — the out-of-order pipeline simulator
 //! * [`workloads`] — the seven benchmark kernels
 //! * [`core`] — error models (DA/IA/WA), injection campaigns, AVM, energy
+//! * [`kernels`] — build-time netlist-specialized arrival kernels
 
 pub use tei_core as core;
 pub use tei_fpu as fpu;
 pub use tei_isa as isa;
+pub use tei_kernels as kernels;
 pub use tei_netlist as netlist;
 pub use tei_softfloat as softfloat;
 pub use tei_timing as timing;
