@@ -16,8 +16,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::Instant;
 use tei_core::dev::{
-    dta_campaign_tuned, dta_campaign_with_threads, dta_engine, random_operand_pairs,
-    safe_bit_counts, DtaTuning, KernelBackend,
+    dta_campaign_tuned, dta_campaign_with_threads, dta_engine, random_operand_pairs, resolve_lanes,
+    resolve_prune, safe_bit_counts, DtaTuning, KernelBackend, PrunePolicy, PRUNE_MIN_SAFE_FRACTION,
 };
 use tei_fpu::{FpuTimingSpec, FpuUnit};
 use tei_softfloat::{FpOp, FpOpKind, Precision};
@@ -181,6 +181,13 @@ fn bench_dta_throughput(c: &mut Criterion) {
     let dta = unit.dta_netlist();
     let cores = detected_cores();
     let campaign_tuning = DtaTuning::default();
+    // What the default tuning actually resolves to on this host: the
+    // lane auto-pick consults the engine that will run, and the prune
+    // auto-decision consults the slack oracle's measured safe fraction.
+    let fresh_kernel = tei_kernels::registry().covers(&unit);
+    let campaign_lanes =
+        resolve_lanes(campaign_tuning.lanes, campaign_tuning.backend, fresh_kernel);
+    let prune_decision = resolve_prune(&unit, spec.clk, &LEVELS, campaign_tuning.prune);
     // An honest scaling curve never oversubscribes: thread counts above
     // the detected core count would only measure scheduler churn (and
     // on a 1-core box produce a spurious *declining* curve), so they
@@ -238,7 +245,7 @@ fn bench_dta_throughput(c: &mut Criterion) {
                 &LEVELS,
                 1,
                 DtaTuning {
-                    prune_safe_bits: false,
+                    prune: PrunePolicy::ForceOff,
                     ..campaign_tuning
                 },
             )
@@ -264,47 +271,50 @@ fn bench_dta_throughput(c: &mut Criterion) {
         .iter()
         .map(|&t| (t, campaign_rate(&unit, &pairs, spec.clk, t, min_secs)))
         .collect();
-    let campaign_1 = scaling_curve[0].1;
     // Pruning ablation: the same serial campaign with the slack-oracle
-    // safe-bit pruning disabled (every output bit scanned per level).
-    let campaign_unpruned = pairs_per_sec(
-        || {
-            criterion::black_box(
-                dta_campaign_tuned(
-                    &unit,
-                    &pairs,
-                    spec.clk,
-                    &LEVELS,
-                    1,
-                    DtaTuning {
-                        prune_safe_bits: false,
-                        ..campaign_tuning
-                    },
-                )
-                .expect("DTA campaign"),
-            );
-            pairs.len() - 1
-        },
-        min_secs,
-    );
+    // safe-bit pruning *forced* on and off (the default campaign runs
+    // the auto decision recorded below, which refuses pruning when the
+    // oracle proves too few bits safe to pay for the bookkeeping).
+    let tuned_rate = |tuning: DtaTuning| {
+        pairs_per_sec(
+            || {
+                criterion::black_box(
+                    dta_campaign_tuned(&unit, &pairs, spec.clk, &LEVELS, 1, tuning)
+                        .expect("DTA campaign"),
+                );
+                pairs.len() - 1
+            },
+            min_secs,
+        )
+    };
+    let campaign_unpruned = tuned_rate(DtaTuning {
+        prune: PrunePolicy::ForceOff,
+        ..campaign_tuning
+    });
+    let campaign_pruned = tuned_rate(DtaTuning {
+        prune: PrunePolicy::ForceOn,
+        ..campaign_tuning
+    });
     let speedup = kernel_w1 / sim_rate;
-    let pruning_speedup = campaign_1 / campaign_unpruned;
+    let pruning_speedup = campaign_pruned / campaign_unpruned;
     let safe_bits = safe_bit_counts(&unit, spec.clk, &LEVELS);
     let codegen_best = codegen_w1.max(codegen_w4).max(codegen_w8);
     println!(
         "dta_throughput summary ({cores} cores): sim {sim_rate:.0} pairs/s, kernel w1 \
          {kernel_w1:.0} ({speedup:.1}x) / w4 {kernel_w4:.0} ({:.1}x) / w8 {kernel_w8:.0} \
          ({:.1}x of w1), codegen w1 {codegen_w1:.0} / w4 {codegen_w4:.0} ({:.2}x of interp \
-         w4) / w8 {codegen_w8:.0}, campaign lanes={} scaling {:?}, unpruned x1 \
-         {campaign_unpruned:.0} pairs/s (pruning {pruning_speedup:.2}x, safe bits {safe_bits:?})",
+         w4) / w8 {codegen_w8:.0}, campaign lanes={campaign_lanes} (auto={}) scaling {:?}, \
+         forced-prune x1 {campaign_pruned:.0} vs unpruned {campaign_unpruned:.0} pairs/s \
+         ({pruning_speedup:.2}x, safe bits {safe_bits:?}, auto prune {})",
         kernel_w4 / kernel_w1,
         kernel_w8 / kernel_w1,
         codegen_w4 / kernel_w4,
-        campaign_tuning.lanes,
+        campaign_tuning.lanes.is_none(),
         scaling_curve
             .iter()
             .map(|&(t, r)| format!("x{t}: {r:.0}"))
             .collect::<Vec<_>>(),
+        if prune_decision.enabled { "on" } else { "off" },
     );
     if measured {
         let report = serde_json::json!({
@@ -332,8 +342,9 @@ fn bench_dta_throughput(c: &mut Criterion) {
                 "w8_speedup_over_interp_w8": codegen_w8 / kernel_w8,
                 "best_speedup_over_interp_w4": codegen_best / kernel_w4,
             }),
-            "campaign_lanes": campaign_tuning.lanes,
-            "campaign_backend": dta_engine(&unit, campaign_tuning.lanes, campaign_tuning.backend)
+            "campaign_lanes": campaign_lanes,
+            "campaign_lanes_auto": campaign_tuning.lanes.is_none(),
+            "campaign_backend": dta_engine(&unit, campaign_lanes, campaign_tuning.backend)
                 .expect("campaign engine")
                 .name(),
             "thread_scaling": scaling_curve
@@ -345,9 +356,13 @@ fn bench_dta_throughput(c: &mut Criterion) {
             "thread_scaling_requested": SCALING_THREADS.to_vec(),
             "thread_scaling_degraded": scaling_degraded,
             "pruning": serde_json::json!({
+                "campaign_1_thread_pruned_pairs_per_sec": campaign_pruned,
                 "campaign_1_thread_unpruned_pairs_per_sec": campaign_unpruned,
-                "pruning_speedup": pruning_speedup,
+                "forced_pruning_speedup": pruning_speedup,
                 "safe_bits_per_level": safe_bits,
+                "safe_fraction": prune_decision.safe_fraction,
+                "auto_threshold": PRUNE_MIN_SAFE_FRACTION,
+                "auto_enabled": prune_decision.enabled,
             }),
         });
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dta.json");

@@ -1,0 +1,204 @@
+//! Fabric worker-scaling benchmark: end-to-end wall-clock of the same
+//! campaign (golden capture included — that is what a user pays) run by
+//! the in-process serial runner and by 1/2/4-worker fleets, written to
+//! `BENCH_fabric.json` at the workspace root.
+//!
+//! The numbers are **measured, never fabricated**: on a single-core
+//! host a multi-process fleet cannot beat one process, so the report
+//! carries an explicit `degraded` flag with the reason instead of a
+//! made-up curve. The merged result of every fleet size is additionally
+//! cross-checked byte-for-byte against the serial run, so the benchmark
+//! doubles as a determinism smoke.
+//!
+//! This executable is its own worker fleet: when invoked with
+//! `fabric-worker` as the first argument it runs the worker process
+//! body and exits, so the benchmark needs no separately built binary.
+
+use std::path::PathBuf;
+use std::time::Instant;
+use tei_core::campaign::{self, GoldenRun};
+use tei_core::{run_fabric_campaign, CampaignSpec, DaModel, FabricConfig, TeiError};
+use tei_timing::VoltageReduction;
+use tei_workloads::{build, BenchmarkId, Scale};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// The 2-worker scaling floor the fabric should clear on a multi-core
+/// host (coordination + per-process golden capture eat the rest).
+const TARGET_2W: f64 = 1.7;
+
+/// Worker-process role: `fabric <bench args>` spawned us with
+/// `fabric-worker --connect ... --token ... --index ... --journal-dir ...`.
+fn worker_role(args: &[String]) -> ! {
+    let mut connect: Option<String> = None;
+    let mut token = 0u64;
+    let mut index = 0u32;
+    let mut journal_dir = PathBuf::from("journal");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().cloned().expect("worker flag value");
+        match flag.as_str() {
+            "--connect" => connect = Some(val()),
+            "--token" => token = val().parse().expect("worker token"),
+            "--index" => index = val().parse().expect("worker index"),
+            "--journal-dir" => journal_dir = PathBuf::from(val()),
+            other => panic!("unexpected worker flag {other:?}"),
+        }
+    }
+    let addr = connect.expect("worker needs --connect");
+    tei_core::shutdown::install_handlers();
+    let code = match tei_core::fabric::worker_main(&addr, token, index, &journal_dir) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("[bench worker {index}] {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tei-fabric-bench-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn bench_spec(runs: u64) -> CampaignSpec {
+    CampaignSpec {
+        runs,
+        seed: 1,
+        ..CampaignSpec::new("sobel")
+    }
+}
+
+/// Serial baseline: golden capture + durable single-process campaign,
+/// the exact identity the fabric derives from [`bench_spec`].
+fn serial_campaign(runs: u64) -> Result<(f64, String), TeiError> {
+    let dir = scratch_dir("serial");
+    let start = Instant::now();
+    let bench = build(BenchmarkId::Sobel, Scale::Test);
+    let golden = GoldenRun::capture(&bench, 8 << 20, u64::MAX)?;
+    let model = DaModel::from_fixed(VoltageReduction::VR20, 1e-2);
+    let cfg = campaign::CampaignConfig {
+        runs: runs as usize,
+        seed: 1,
+        timeout_factor: 2.0,
+        threads: 1,
+        ..Default::default()
+    };
+    let result = campaign::run_campaign_durable("sobel", &golden, &model, &cfg, &dir)?;
+    let secs = start.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&dir).ok();
+    Ok((
+        secs,
+        serde_json::to_string(&result.counts).expect("serialize counts"),
+    ))
+}
+
+fn fabric_campaign(runs: u64, workers: usize) -> Result<(f64, String), TeiError> {
+    let dir = scratch_dir(&format!("w{workers}"));
+    let exe = std::env::current_exe().map_err(|e| TeiError::Fabric {
+        detail: format!("resolve bench executable: {e}"),
+    })?;
+    let mut cfg = FabricConfig::new(
+        vec![exe.to_string_lossy().into_owned(), "fabric-worker".into()],
+        dir.clone(),
+    );
+    cfg.workers = workers;
+    let spec = bench_spec(runs);
+    let start = Instant::now();
+    let result = run_fabric_campaign(&spec, &cfg, &mut |_| {})?;
+    let secs = start.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&dir).ok();
+    Ok((
+        secs,
+        serde_json::to_string(&result.counts).expect("serialize counts"),
+    ))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fabric-worker") {
+        worker_role(&args[1..]);
+    }
+
+    let runs: u64 = std::env::var("TEI_FABRIC_BENCH_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8192);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("fabric scaling: {runs} runs of sobel (test scale), {cores} core(s)");
+
+    let (serial_secs, serial_counts) = serial_campaign(runs).expect("serial baseline");
+    println!("  serial (in-process, 1 thread): {serial_secs:.2}s");
+
+    let mut curve: Vec<(usize, f64)> = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        let (secs, counts) = fabric_campaign(runs, workers).expect("fabric campaign");
+        assert_eq!(
+            counts, serial_counts,
+            "{workers}-worker fabric diverged from the serial tally"
+        );
+        println!(
+            "  fabric {workers} worker(s): {secs:.2}s ({:.0} runs/s, byte-identical)",
+            runs as f64 / secs
+        );
+        curve.push((workers, secs));
+    }
+
+    let secs_of = |w: usize| {
+        curve
+            .iter()
+            .find_map(|&(cw, s)| (cw == w).then_some(s))
+            .expect("measured worker count")
+    };
+    let speedup_2w = secs_of(1) / secs_of(2);
+    let degraded_reason = if cores < 2 {
+        Some(format!(
+            "host exposes {cores} core(s); multi-process scaling is not measurable here"
+        ))
+    } else if speedup_2w < TARGET_2W {
+        Some(format!(
+            "measured {speedup_2w:.2}x at 2 workers, below the {TARGET_2W}x floor"
+        ))
+    } else {
+        None
+    };
+    println!(
+        "  2-worker speedup: {speedup_2w:.2}x (target {TARGET_2W}x){}",
+        degraded_reason
+            .as_deref()
+            .map(|r| format!(" — DEGRADED: {r}"))
+            .unwrap_or_default()
+    );
+
+    let report = serde_json::json!({
+        "schema": "tei-fabric-bench-v1",
+        "host_cores": cores,
+        "runs": runs,
+        "benchmark": "sobel (test scale), fixed:1e-2, vr20",
+        "serial_secs": serial_secs,
+        "fabric": curve
+            .iter()
+            .map(|&(w, s)| serde_json::json!({
+                "workers": w,
+                "secs": s,
+                "runs_per_sec": runs as f64 / s,
+                "speedup_over_1_worker": secs_of(1) / s,
+            }))
+            .collect::<Vec<_>>(),
+        "fabric_overhead_1w_vs_serial": secs_of(1) / serial_secs,
+        "speedup_2w": speedup_2w,
+        "target_2w": TARGET_2W,
+        "degraded": degraded_reason.is_some(),
+        "degraded_reason": degraded_reason,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fabric.json");
+    let text = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    tei_core::journal::atomic_write_checksummed(
+        std::path::Path::new(path),
+        (text + "\n").as_bytes(),
+    )
+    .expect("write BENCH_fabric.json");
+    println!("wrote {path}");
+}

@@ -1,81 +1,11 @@
-//! Toolflow front-end. The first subcommand is `lint`: run the
-//! structural netlist lints (combinational loops, floating and
-//! multi-driver nets, unreachable gates, missing delays — see DESIGN.md,
-//! "Static verification") over Verilog files or the generated FPU bank.
-//!
-//! ```text
-//! # lint exported netlists
-//! cargo run --release -p tei-bench --bin tei -- lint out/d_add.v
-//!
-//! # lint every generated FPU unit plus a Verilog round-trip
-//! cargo run --release -p tei-bench --bin tei -- lint --fpu
-//! ```
-//!
-//! The second subcommand is `codegen`: check the shipped generated
-//! kernels against freshly regenerated netlists (fingerprint staleness
-//! plus a fixed-seed transition equivalence run against the
-//! interpreter), or re-emit the specialized sources to a directory for
-//! inspection.
-//!
-//! ```text
-//! # verify the generated kernels for two units (CI smoke)
-//! cargo run --release -p tei-bench --bin tei -- codegen --check fp-add-d fp-mul-d
-//!
-//! # verify every unit; dump what the emitter would generate today
-//! cargo run --release -p tei-bench --bin tei -- codegen --check
-//! cargo run --release -p tei-bench --bin tei -- codegen --emit out/kernels
-//! ```
-//!
-//! Exit status: 0 when every design is clean, 1 when any diagnostic (or
-//! error) is reported, 2 on usage errors.
+//! The static-verification subcommands: `lint` (structural netlist
+//! lints) and `codegen` (generated-kernel staleness + equivalence).
 
+use crate::USAGE;
 use tei_netlist::{lint_module, lint_netlist, parse_verilog, to_verilog, CellLibrary};
 
-const USAGE: &str = "usage: tei lint [--fpu | <file.v>...]
-       tei codegen --check [<tag>...]
-       tei codegen --emit <dir> [<tag>...]
-subcommands:
-  lint      structural netlist lints
-  codegen   generated-kernel staleness + equivalence checks
-lint options:
-  --fpu     lint the generated FPU bank (both the functional and the
-            DTA-derated netlist of every unit) plus one export/parse
-            round-trip instead of reading Verilog files
-codegen options:
-  --check   regenerate the named units (default: all) and require a
-            registered, fingerprint-fresh kernel that matches the
-            interpreter bit-for-bit on a fixed-seed operand batch
-  --emit    write the specialized sources the emitter produces today
-            for the named units (default: all) into <dir>";
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "-h" || a == "--help") {
-        eprintln!("{USAGE}");
-        std::process::exit(0);
-    }
-    match args.first().map(String::as_str) {
-        Some("lint") => {
-            let clean = lint(&args[1..]);
-            std::process::exit(i32::from(!clean));
-        }
-        Some("codegen") => {
-            let clean = codegen(&args[1..]);
-            std::process::exit(i32::from(!clean));
-        }
-        Some(other) => {
-            eprintln!("tei: unknown subcommand {other:?}\n{USAGE}");
-            std::process::exit(2);
-        }
-        None => {
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
-    }
-}
-
 /// Run the codegen subcommand; returns whether every unit came back clean.
-fn codegen(args: &[String]) -> bool {
+pub(crate) fn codegen(args: &[String]) -> bool {
     let mode = args.first().map(String::as_str);
     let (emit_dir, tags) = match mode {
         Some("--check") => (None, &args[1..]),
@@ -205,7 +135,7 @@ fn check_unit(unit: &tei_fpu::FpuUnit, clk: f64) -> bool {
 }
 
 /// Run the lint subcommand; returns whether every design came back clean.
-fn lint(args: &[String]) -> bool {
+pub(crate) fn lint(args: &[String]) -> bool {
     if args.iter().any(|a| a == "--fpu") {
         if args.len() != 1 {
             eprintln!("tei: --fpu takes no file arguments\n{USAGE}");

@@ -1,0 +1,102 @@
+//! Toolflow front-end: the `tei` command.
+//!
+//! Static verification (see DESIGN.md, "Static verification"):
+//!
+//! * `tei lint` — structural netlist lints over Verilog files or the
+//!   generated FPU bank.
+//! * `tei codegen` — staleness + interpreter-equivalence checks of the
+//!   shipped netlist-specialized kernels, and re-emission of their
+//!   sources.
+//!
+//! Campaign fabric (see DESIGN.md, "Campaign fabric"):
+//!
+//! * `tei campaign --workers N` — one-shot lease-partitioned
+//!   multi-process injection campaign; byte-identical to the
+//!   single-process run and resumable after any crash.
+//! * `tei serve` — resident coordinator: keeps one worker fleet and its
+//!   golden/checkpoint caches warm across queued campaigns.
+//! * `tei submit` — queue a campaign on a running server and stream its
+//!   progress until the merged result arrives.
+//! * `tei fabric-worker` — the worker process body the coordinator
+//!   spawns (internal; documented for completeness).
+//!
+//! Exit codes: 0 clean, 1 findings or campaign failure, 2 usage,
+//! 130 interrupted (journals retained; re-run to resume).
+
+mod checks;
+mod fabric_cli;
+
+const USAGE: &str = "usage: tei <subcommand> [args]
+
+static verification:
+  tei lint --fpu | <file.v> ...         structural netlist lints
+  tei codegen --check [tag ...]         shipped-kernel staleness + equivalence
+  tei codegen --emit <dir> [tag ...]    re-emit specialized kernel sources
+
+campaign fabric:
+  tei campaign --benchmark <name> [--workers <n>] [options]
+                                        one-shot multi-process campaign
+  tei serve [--listen <addr>] [--workers <n>] [options]
+                                        resident coordinator + worker fleet
+  tei submit --connect <addr> --benchmark <name> [options]
+                                        queue a campaign on a running server
+  tei fabric-worker --connect <addr> --token <t> --index <i> --journal-dir <d>
+                                        internal: fleet worker process
+
+campaign options:
+  --benchmark <name>       benchmark (e.g. is, sobel, k-means)
+  --model fixed[:<er>]     fixed-ratio DA model (default fixed:1e-2)
+  --vr vr15|vr20           voltage-reduction corner (default vr20)
+  --scale test|small|full  benchmark problem size (default test)
+  --runs <n>               injection runs (default 120)
+  --seed <n>               base RNG seed (default 1)
+  --timeout-factor <x>     timeout as a multiple of golden instructions
+  --threads-per-worker <n> threads inside each worker process (default 1)
+  --throttle-ms <n>        per-run sleep, for kill tests (default 0)
+  --out <file>             result JSON (default results/fabric-<bench>.json)
+
+fleet options:
+  --workers <n>            worker processes (default 2)
+  --leases-per-worker <n>  lease granularity when partitioning (default 4)
+  --lease-timeout-s <n>    hung-worker lease expiry backstop (default 600)
+  --journal-dir <dir>      journal directory (default TEI_JOURNAL_DIR or journal/)
+  --listen <addr>          serve address (default 127.0.0.1:2017)
+  --chaos-kill-worker <w>:<n>  test hook: SIGKILL worker w after n leases";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        println!("{USAGE}");
+        return;
+    }
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let rest = &args[1..];
+    let code = match cmd.as_str() {
+        "lint" => {
+            if checks::lint(rest) {
+                0
+            } else {
+                1
+            }
+        }
+        "codegen" => {
+            if checks::codegen(rest) {
+                0
+            } else {
+                1
+            }
+        }
+        "campaign" => fabric_cli::exit_code(fabric_cli::campaign(rest)),
+        "serve" => fabric_cli::exit_code(fabric_cli::serve(rest)),
+        "submit" => fabric_cli::exit_code(fabric_cli::submit(rest)),
+        "fabric-worker" => fabric_cli::exit_code(fabric_cli::worker(rest)),
+        other => {
+            eprintln!("tei: unknown subcommand {other:?}\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

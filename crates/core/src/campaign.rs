@@ -330,7 +330,7 @@ pub struct OutcomeCounts {
 }
 
 impl OutcomeCounts {
-    fn add(&mut self, o: Outcome) {
+    pub(crate) fn add(&mut self, o: Outcome) {
         match o {
             Outcome::Masked => self.masked += 1,
             Outcome::Sdc => self.sdc += 1,
@@ -339,7 +339,7 @@ impl OutcomeCounts {
         }
     }
 
-    fn merge(&mut self, other: &OutcomeCounts) {
+    pub(crate) fn merge(&mut self, other: &OutcomeCounts) {
         self.masked += other.masked;
         self.sdc += other.sdc;
         self.crash += other.crash;
@@ -714,7 +714,12 @@ fn cell_seed<M: InjectionModel + ?Sized>(cfg: &CampaignConfig, model: &M) -> u64
 
 /// Outcome of one panic-isolated injection run.
 enum IsolatedRun {
-    Tally(RunTally, /* retried */ bool),
+    Tally(
+        RunTally,
+        /* retried */ bool,
+        /* run */ u64,
+        /* seed */ u64,
+    ),
     Quarantined(QuarantinedRun),
 }
 
@@ -736,7 +741,7 @@ fn run_isolated<M: InjectionModel + ?Sized>(
             runner.one_run(seed)
         }));
         match result {
-            Ok(tally) => return IsolatedRun::Tally(tally, attempt > 0),
+            Ok(tally) => return IsolatedRun::Tally(tally, attempt > 0, r as u64, seed),
             Err(payload) => {
                 // The panic may have left the reusable fork core (and in
                 // principle the memo cache lock) mid-operation; rebuild
@@ -767,6 +772,96 @@ fn run_isolated<M: InjectionModel + ?Sized>(
     unreachable!("loop returns on success or second failure")
 }
 
+/// Build the journal record and tally delta of one isolated run — the
+/// single place a run's outcome becomes durable bytes, shared by the
+/// in-process worker pool and the fabric's leased execution.
+fn record_of(isolated: IsolatedRun, golden_instructions: u64) -> (RunRecord, OutcomeCounts) {
+    match isolated {
+        IsolatedRun::Tally(tally, retried, run, seed) => {
+            let mut c = OutcomeCounts::default();
+            c.add(tally.outcome);
+            if tally.wrong_path {
+                c.masked_wrong_path += 1;
+            }
+            if tally.no_error {
+                c.masked_no_error += 1;
+            }
+            if tally.mistargeted {
+                c.mistargeted += 1;
+            }
+            (
+                RunRecord {
+                    run,
+                    seed,
+                    target: tally.target,
+                    mask: tally.mask,
+                    outcome: RecordedOutcome::Classified(tally.outcome),
+                    wrong_path: tally.wrong_path,
+                    no_error: tally.no_error,
+                    mistargeted: tally.mistargeted,
+                    retried,
+                    instructions: golden_instructions,
+                },
+                c,
+            )
+        }
+        IsolatedRun::Quarantined(q) => {
+            let mut c = OutcomeCounts::default();
+            c.quarantined += 1;
+            (
+                RunRecord {
+                    run: q.run,
+                    seed: q.seed,
+                    target: q.target,
+                    mask: q.mask,
+                    outcome: RecordedOutcome::Quarantined,
+                    wrong_path: false,
+                    no_error: false,
+                    mistargeted: false,
+                    retried: true,
+                    instructions: golden_instructions,
+                },
+                c,
+            )
+        }
+    }
+}
+
+/// Fold one journaled record into a running tally — the inverse of
+/// [`record_of`], shared by the durable resume path and the fabric's
+/// deterministic merge. [`OutcomeCounts`] fields are commutative sums,
+/// so the fold order never changes the result.
+pub(crate) fn absorb_record(
+    counts: &mut OutcomeCounts,
+    quarantined: &mut Vec<QuarantinedRun>,
+    rec: &RunRecord,
+) {
+    match rec.outcome {
+        RecordedOutcome::Classified(o) => {
+            counts.add(o);
+            if rec.wrong_path {
+                counts.masked_wrong_path += 1;
+            }
+            if rec.no_error {
+                counts.masked_no_error += 1;
+            }
+            if rec.mistargeted {
+                counts.mistargeted += 1;
+            }
+        }
+        RecordedOutcome::Quarantined => {
+            counts.quarantined += 1;
+            quarantined.push(QuarantinedRun {
+                run: rec.run,
+                seed: rec.seed,
+                target: rec.target,
+                mask: rec.mask,
+                message: "replayed from journal".to_string(),
+            });
+        }
+    }
+}
+
 /// Everything a cell execution produces: merged tallies, quarantine
 /// reports, and whether a cooperative stop cut the sweep short.
 struct CellOutcome {
@@ -775,14 +870,28 @@ struct CellOutcome {
     interrupted: bool,
 }
 
-/// The shared worker-pool core of [`run_campaign`] and
-/// [`run_campaign_durable`]: shard `0..cfg.runs` across workers, skip
-/// runs already journaled, isolate panics, and (when a journal is
-/// present) write-ahead-log every completed run before tallying it.
+/// What [`execute_lease`] produced for one leased run range.
+#[derive(Debug)]
+pub struct LeaseOutcome {
+    /// Tally delta of the runs executed under this lease.
+    pub counts: OutcomeCounts,
+    /// Quarantined runs within the lease, sorted by run index.
+    pub quarantined: Vec<QuarantinedRun>,
+    /// A shutdown signal cut the lease short (the journal still holds
+    /// every completed run).
+    pub interrupted: bool,
+}
+
+/// The shared worker-pool core of [`run_campaign`],
+/// [`run_campaign_durable`], and the fabric's [`execute_lease`]: shard
+/// `span` across workers, skip runs already journaled, isolate panics,
+/// and (when a journal is present) write-ahead-log every completed run
+/// before tallying it.
 fn execute_cell<M: InjectionModel + Sync + ?Sized>(
     golden: &GoldenRun,
     model: &M,
     cfg: &CampaignConfig,
+    span: std::ops::Range<usize>,
     skip: &HashSet<u64>,
     journal: Option<&Mutex<Journal>>,
     appends: &AtomicU64,
@@ -794,9 +903,9 @@ fn execute_cell<M: InjectionModel + Sync + ?Sized>(
         ReplayMode::Checkpointed { memoize: true } => Some(Mutex::new(HashMap::new())),
         _ => None,
     };
-    let runs = cfg.runs;
-    let threads = cfg.threads.clamp(1, runs.max(1));
-    let chunk = runs.div_ceil(threads);
+    let span_len = span.len();
+    let threads = cfg.threads.clamp(1, span_len.max(1));
+    let chunk = span_len.div_ceil(threads).max(1);
     let chaos = &cfg.chaos;
     let stop_requested = || {
         crate::shutdown::requested()
@@ -830,54 +939,11 @@ fn execute_cell<M: InjectionModel + Sync + ?Sized>(
                 std::thread::sleep(std::time::Duration::from_millis(chaos.throttle_ms));
             }
             let rs = run_seed(seed, r);
-            let (record, tally_counts) = match run_isolated(&mut runner, chaos, r, rs) {
-                IsolatedRun::Tally(tally, retried) => {
-                    let mut c = OutcomeCounts::default();
-                    c.add(tally.outcome);
-                    if tally.wrong_path {
-                        c.masked_wrong_path += 1;
-                    }
-                    if tally.no_error {
-                        c.masked_no_error += 1;
-                    }
-                    if tally.mistargeted {
-                        c.mistargeted += 1;
-                    }
-                    (
-                        RunRecord {
-                            run: r as u64,
-                            seed: rs,
-                            target: tally.target,
-                            mask: tally.mask,
-                            outcome: RecordedOutcome::Classified(tally.outcome),
-                            wrong_path: tally.wrong_path,
-                            no_error: tally.no_error,
-                            mistargeted: tally.mistargeted,
-                            retried,
-                            instructions: golden.instructions,
-                        },
-                        c,
-                    )
-                }
-                IsolatedRun::Quarantined(q) => {
-                    let mut c = OutcomeCounts::default();
-                    c.quarantined += 1;
-                    let record = RunRecord {
-                        run: q.run,
-                        seed: q.seed,
-                        target: q.target,
-                        mask: q.mask,
-                        outcome: RecordedOutcome::Quarantined,
-                        wrong_path: false,
-                        no_error: false,
-                        mistargeted: false,
-                        retried: true,
-                        instructions: golden.instructions,
-                    };
-                    quarantined.push(q);
-                    (record, c)
-                }
-            };
+            let isolated = run_isolated(&mut runner, chaos, r, rs);
+            if let IsolatedRun::Quarantined(q) = &isolated {
+                quarantined.push(q.clone());
+            }
+            let (record, tally_counts) = record_of(isolated, golden.instructions);
             // WAL discipline: the run only counts once it is durably on
             // disk, so a crash between here and the final tally can at
             // worst lose in-flight runs, never double-count.
@@ -900,8 +966,8 @@ fn execute_cell<M: InjectionModel + Sync + ?Sized>(
     let joined: Result<Vec<WorkerResult>, _> = crossbeam::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(runs);
+            let lo = span.start + t * chunk;
+            let hi = (span.start + (t + 1) * chunk).min(span.end);
             if lo >= hi {
                 break;
             }
@@ -928,6 +994,52 @@ fn execute_cell<M: InjectionModel + Sync + ?Sized>(
     })
 }
 
+/// Execute the leased run range `[lo, hi)` of a campaign cell, appending
+/// every completed run to `journal` before tallying it — the fabric
+/// worker's entry point. Runs in `skip` (already in this worker's
+/// journal) are not re-executed. Outcomes are identical to the same runs
+/// executed by [`run_campaign_durable`]: the per-run derived seed depends
+/// only on the cell seed and the run index, never on which process or
+/// lease executed it.
+///
+/// # Errors
+///
+/// [`TeiError::Config`] for unusable sizing knobs or an out-of-range
+/// lease, [`TeiError::Io`] when a journal append fails, and
+/// [`TeiError::WorkerPool`] if the in-process pool cannot be joined.
+pub fn execute_lease<M: InjectionModel + Sync + ?Sized>(
+    golden: &GoldenRun,
+    model: &M,
+    cfg: &CampaignConfig,
+    lo: u64,
+    hi: u64,
+    skip: &HashSet<u64>,
+    journal: &Mutex<Journal>,
+) -> Result<LeaseOutcome, TeiError> {
+    cfg.validate()?;
+    if lo >= hi || hi > cfg.runs as u64 {
+        return Err(TeiError::Config {
+            knob: "lease".to_string(),
+            reason: format!("range [{lo}, {hi}) is empty or outside 0..{}", cfg.runs),
+        });
+    }
+    let appends = AtomicU64::new(0);
+    let cell = execute_cell(
+        golden,
+        model,
+        cfg,
+        lo as usize..hi as usize,
+        skip,
+        Some(journal),
+        &appends,
+    )?;
+    Ok(LeaseOutcome {
+        counts: cell.counts,
+        quarantined: cell.quarantined,
+        interrupted: cell.interrupted,
+    })
+}
+
 /// Run a full campaign cell in parallel, surfacing orchestration failures
 /// as typed errors.
 ///
@@ -948,6 +1060,7 @@ pub fn run_campaign_checked<M: InjectionModel + Sync + ?Sized>(
         golden,
         model,
         cfg,
+        0..cfg.runs,
         &HashSet::new(),
         None,
         &AtomicU64::new(0),
@@ -1069,30 +1182,7 @@ pub fn run_campaign_durable<M: InjectionModel + Sync + ?Sized>(
                 reason: format!("record for run {} is out of range or duplicated", rec.run),
             });
         }
-        match rec.outcome {
-            RecordedOutcome::Classified(o) => {
-                counts.add(o);
-                if rec.wrong_path {
-                    counts.masked_wrong_path += 1;
-                }
-                if rec.no_error {
-                    counts.masked_no_error += 1;
-                }
-                if rec.mistargeted {
-                    counts.mistargeted += 1;
-                }
-            }
-            RecordedOutcome::Quarantined => {
-                counts.quarantined += 1;
-                quarantined.push(QuarantinedRun {
-                    run: rec.run,
-                    seed: rec.seed,
-                    target: rec.target,
-                    mask: rec.mask,
-                    message: "replayed from journal".to_string(),
-                });
-            }
-        }
+        absorb_record(&mut counts, &mut quarantined, rec);
     }
     if !completed.is_empty() {
         eprintln!(
@@ -1106,7 +1196,15 @@ pub fn run_campaign_durable<M: InjectionModel + Sync + ?Sized>(
 
     let journal = Mutex::new(journal);
     let appends = AtomicU64::new(0);
-    let cell = execute_cell(golden, model, cfg, &skip, Some(&journal), &appends)?;
+    let cell = execute_cell(
+        golden,
+        model,
+        cfg,
+        0..cfg.runs,
+        &skip,
+        Some(&journal),
+        &appends,
+    )?;
     counts.merge(&cell.counts);
     quarantined.extend(cell.quarantined);
     quarantined.sort_by_key(|q| q.run);

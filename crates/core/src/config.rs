@@ -95,19 +95,40 @@ pub const SUPPORTED_LANES: [usize; 3] = [1, 4, 8];
 
 /// Window lane words for the bit-sliced DTA kernel: 1, 4, or 8 `u64`s
 /// per net (64 / 256 / 512 input vectors per window). A pure throughput
-/// knob — campaign statistics are bit-identical at every width. Default
-/// 4 (AVX2-width ops); override with `TEI_LANES`. Unsupported widths
-/// warn once and fall back to the default.
-pub fn default_lanes() -> usize {
-    let lanes = env_usize("TEI_LANES", 4);
-    if SUPPORTED_LANES.contains(&lanes) {
-        lanes
-    } else {
-        warn_once(
-            "TEI_LANES",
-            &format!("unsupported lane width {lanes} (supported: 1, 4, 8), using 4"),
-        );
-        4
+/// knob — campaign statistics are bit-identical at every width.
+/// `None` (the default, also spelled `TEI_LANES=auto`) lets the
+/// campaign pick the measured-best width for the engine backend that
+/// actually runs (see [`crate::dev::resolve_lanes`]); `TEI_LANES=<n>`
+/// forces a width. Unsupported widths warn once and fall back to auto.
+pub fn default_lanes() -> Option<usize> {
+    let raw = match std::env::var("TEI_LANES") {
+        Ok(v) => v,
+        Err(std::env::VarError::NotPresent) => return None,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            warn_once("TEI_LANES", "non-unicode value, using auto");
+            return None;
+        }
+    };
+    let raw = raw.trim();
+    if raw == "auto" {
+        return None;
+    }
+    match raw.parse::<usize>() {
+        Ok(lanes) if SUPPORTED_LANES.contains(&lanes) => Some(lanes),
+        Ok(lanes) => {
+            warn_once(
+                "TEI_LANES",
+                &format!("unsupported lane width {lanes} (supported: 1, 4, 8, auto), using auto"),
+            );
+            None
+        }
+        Err(_) => {
+            warn_once(
+                "TEI_LANES",
+                &format!("unparsable value {raw:?}, using auto"),
+            );
+            None
+        }
     }
 }
 
@@ -189,13 +210,21 @@ pub fn validate_env() -> Result<(), TeiError> {
         }
     })?;
     validate_knob("TEI_CHECKPOINT_INTERVAL", |_| Ok(()))?;
-    validate_knob("TEI_LANES", |n| {
-        if SUPPORTED_LANES.contains(&n) {
-            Ok(())
-        } else {
-            Err(format!("unsupported lane width {n} (supported: 1, 4, 8)"))
+    if let Ok(v) = std::env::var("TEI_LANES") {
+        let v = v.trim();
+        if v != "auto" {
+            let parsed = v.parse::<usize>().map_err(|_| TeiError::Config {
+                knob: "TEI_LANES".to_string(),
+                reason: format!("unparsable value {v:?} (supported: 1, 4, 8, auto)"),
+            })?;
+            if !SUPPORTED_LANES.contains(&parsed) {
+                return Err(TeiError::Config {
+                    knob: "TEI_LANES".to_string(),
+                    reason: format!("unsupported lane width {parsed} (supported: 1, 4, 8, auto)"),
+                });
+            }
         }
-    })?;
+    }
     validate_knob("TEI_RUNS", |n| {
         if n == 0 {
             Err("must be at least 1".into())
@@ -249,13 +278,16 @@ mod tests {
         let err = validate_env().unwrap_err();
         assert!(err.to_string().contains("TEI_LANES"));
         // The non-validating read warns and falls back instead.
-        assert_eq!(default_lanes(), 4);
+        assert_eq!(default_lanes(), None);
         assert!(warned_knobs().contains("TEI_LANES"));
         std::env::set_var("TEI_LANES", "8");
-        assert_eq!(default_lanes(), 8);
+        assert_eq!(default_lanes(), Some(8));
+        assert!(validate_env().is_ok());
+        std::env::set_var("TEI_LANES", "auto");
+        assert_eq!(default_lanes(), None);
         assert!(validate_env().is_ok());
         std::env::remove_var("TEI_LANES");
-        assert_eq!(default_lanes(), 4);
+        assert_eq!(default_lanes(), None);
         assert!(validate_env().is_ok());
         std::env::set_var("TEI_KERNEL", "vectorized");
         let err = validate_env().unwrap_err();

@@ -228,26 +228,134 @@ pub enum KernelBackend {
     Generated,
 }
 
+/// Policy for the static-slack safe-bit skip of the DTA inner loop.
+///
+/// The skip is exact, not approximate: dynamic settle times never
+/// exceed the static bound (the `sanitize-arrivals` feature asserts
+/// this), and the campaign's nominal clamp only lowers them further, so
+/// a statically-safe bit can never contribute to an error mask. Whether
+/// it *pays* is a different question: when the oracle proves almost
+/// nothing safe (the shipped FPU adders at VR15/VR20 prove 2 of 128
+/// result bits), the filtered live-bit lists are nearly full-length and
+/// the bookkeeping overhead eats the savings — the `pruning` ablation
+/// in `BENCH_dta.json` measured 0.995x, a regression dressed up as an
+/// optimization. [`PrunePolicy::Auto`] therefore consults the measured
+/// break-even fraction instead of pruning unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrunePolicy {
+    /// Prune only when the oracle proves at least
+    /// [`PRUNE_MIN_SAFE_FRACTION`] of the thresholded bits safe.
+    #[default]
+    Auto,
+    /// Always prune (the pre-decision behavior; ablation use).
+    ForceOn,
+    /// Never prune (ablation use).
+    ForceOff,
+}
+
+/// Minimum fraction of (bit, corner) threshold work the static oracle
+/// must eliminate for [`PrunePolicy::Auto`] to enable pruning. Below
+/// this the filtered list is effectively the full list and the skip is
+/// measured overhead, not savings (`pruning_speedup` 0.995x at 1.6%
+/// safe in `BENCH_dta.json`); one-sixteenth is comfortably past
+/// break-even while still letting genuinely prunable corners benefit.
+pub const PRUNE_MIN_SAFE_FRACTION: f64 = 1.0 / 16.0;
+
+/// The resolved pruning choice for one campaign, recorded so benches
+/// and logs report what actually ran instead of what was requested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneDecision {
+    /// Whether the inner loop skips statically-safe bits.
+    pub enabled: bool,
+    /// Fraction of (bit, corner) pairs the oracle proves safe.
+    pub safe_fraction: f64,
+    /// The policy the decision was resolved from.
+    pub policy: PrunePolicy,
+}
+
+/// Resolve a [`PrunePolicy`] against the static slack oracle for `unit`
+/// at clock `clk` over the campaign's corners. Pruning is exact at any
+/// setting, so the decision can never change statistics — only whether
+/// the inner loop carries the filtered-list bookkeeping.
+pub fn resolve_prune(
+    unit: &FpuUnit,
+    clk: f64,
+    levels: &[VoltageReduction],
+    policy: PrunePolicy,
+) -> PruneDecision {
+    let safe: usize = safe_bit_counts(unit, clk, levels).iter().sum();
+    let total = unit.result_port().len() * levels.len();
+    let safe_fraction = if total == 0 {
+        0.0
+    } else {
+        safe as f64 / total as f64
+    };
+    let enabled = match policy {
+        PrunePolicy::ForceOn => true,
+        PrunePolicy::ForceOff => false,
+        PrunePolicy::Auto => safe_fraction >= PRUNE_MIN_SAFE_FRACTION,
+    };
+    PruneDecision {
+        enabled,
+        safe_fraction,
+        policy,
+    }
+}
+
+/// Measured lane-width preference of the interpreted kernel, best
+/// first (`BENCH_dta.json` lanes ablation: W4 119k, W8 115k, W1 77k
+/// pairs/s — W8's extra settle planes thrash the interpreter's cache).
+pub const INTERP_LANE_ORDER: [usize; 3] = [4, 8, 1];
+
+/// Measured lane-width preference of the generated kernel, best first
+/// (`BENCH_dta.json` codegen ablation: W8 263k, W4 142k, W1 61k
+/// pairs/s — the specialized dense sweep keeps scaling past W4).
+pub const CODEGEN_LANE_ORDER: [usize; 3] = [8, 4, 1];
+
+/// Resolve a requested lane width (`None` = auto) to a concrete one by
+/// consulting the measured per-backend ordering: the engine that will
+/// actually run decides, so auto no longer hands the interpreter's
+/// best width to the generated kernel or vice versa. `fresh_kernel` is
+/// whether [`tei_kernels::registry`] holds a fingerprint-fresh kernel
+/// for the unit (i.e. whether [`KernelBackend::Auto`] dispatches to
+/// the generated kernel at W >= 4).
+pub fn resolve_lanes(
+    requested: Option<usize>,
+    backend: KernelBackend,
+    fresh_kernel: bool,
+) -> usize {
+    if let Some(lanes) = requested {
+        return lanes;
+    }
+    let generated = match backend {
+        KernelBackend::Generated => true,
+        KernelBackend::Auto => fresh_kernel,
+        KernelBackend::Interpreter => false,
+    };
+    if generated {
+        CODEGEN_LANE_ORDER[0]
+    } else {
+        INTERP_LANE_ORDER[0]
+    }
+}
+
 /// Tuning knobs of the DTA campaign inner loop. Tuning never changes
 /// the produced statistics — only how much work the inner loop performs
 /// and how wide its windows are.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DtaTuning {
-    /// Skip the settle-time threshold for output bits the static slack
-    /// oracle proves safe at a corner (`static bound × derating ≤ clk`).
-    ///
-    /// The skip is exact, not approximate: dynamic settle times never
-    /// exceed the static bound (the `sanitize-arrivals` feature asserts
-    /// this), and the campaign's nominal clamp only lowers them further,
-    /// so a statically-safe bit can never contribute to an error mask.
-    /// Disabling this exists for the `pruning` bench ablation.
-    pub prune_safe_bits: bool,
+    /// Safe-bit pruning policy (see [`PrunePolicy`]; the default
+    /// [`PrunePolicy::Auto`] prunes only past the measured break-even
+    /// fraction).
+    pub prune: PrunePolicy,
     /// Window lane words of the bit-sliced kernel: 1, 4, or 8 `u64`s
     /// per net, i.e. 64 / 256 / 512 input vectors per whole-circuit
-    /// evaluation pass (see [`tei_timing::ArrivalKernel`]). Defaults to
-    /// [`config::default_lanes`] (`TEI_LANES`, 4 when unset). Campaign
-    /// statistics are bit-identical at every width.
-    pub lanes: usize,
+    /// evaluation pass (see [`tei_timing::ArrivalKernel`]). `None`
+    /// (the default unless `TEI_LANES` forces a width) picks the
+    /// measured-best width for the backend that will actually run —
+    /// see [`resolve_lanes`]. Campaign statistics are bit-identical at
+    /// every width.
+    pub lanes: Option<usize>,
     /// Arrival-engine backend (see [`KernelBackend`]). Defaults to
     /// [`config::default_backend`] (`TEI_KERNEL`, auto when unset).
     pub backend: KernelBackend,
@@ -256,7 +364,7 @@ pub struct DtaTuning {
 impl Default for DtaTuning {
     fn default() -> Self {
         DtaTuning {
-            prune_safe_bits: true,
+            prune: PrunePolicy::Auto,
             lanes: config::default_lanes(),
             backend: config::default_backend(),
         }
@@ -323,7 +431,7 @@ fn live_bits(
     outputs: &[NetId],
     factors: &[f64],
     clk: f64,
-    tuning: DtaTuning,
+    prune: bool,
 ) -> Vec<Vec<(usize, NetId)>> {
     factors
         .iter()
@@ -331,9 +439,7 @@ fn live_bits(
             outputs
                 .iter()
                 .enumerate()
-                .filter(|&(_, &net)| {
-                    !tuning.prune_safe_bits || compiled.static_bound(net) * k > clk
-                })
+                .filter(|&(_, &net)| !prune || compiled.static_bound(net) * k > clk)
                 .map(|(bit, &net)| (bit, net))
                 .collect()
         })
@@ -608,14 +714,20 @@ pub fn dta_campaign_tuned(
     // Resolve the tuning into an engine once up front so config errors
     // surface before any worker threads spawn; workers then build their
     // own engine from the validated tuning.
-    drop(dta_engine(unit, tuning.lanes, tuning.backend)?);
+    let lanes = resolve_lanes(
+        tuning.lanes,
+        tuning.backend,
+        tei_kernels::registry().covers(unit),
+    );
+    drop(dta_engine(unit, lanes, tuning.backend)?);
     let outputs = unit.result_port().to_vec();
     if pairs.len() < 2 {
         return Ok(empty_stats(unit, levels, outputs.len()));
     }
     let compiled = unit.dta_compiled();
     let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
-    let live = live_bits(compiled, &outputs, &factors, clk, tuning);
+    let prune = resolve_prune(unit, clk, levels, tuning.prune);
+    let live = live_bits(compiled, &outputs, &factors, clk, prune.enabled);
 
     // Transition t is pairs[t] → pairs[t+1]. Chunk ci covers the
     // contiguous transitions [ci*span, (ci+1)*span), each chunk
@@ -624,10 +736,10 @@ pub fn dta_campaign_tuned(
     // index order reproduces the serial walk.
     let transitions = pairs.len() - 1;
     let width = unit.input_width();
-    let window_vectors = tuning.lanes * 64;
+    let window_vectors = lanes * 64;
     let span = CHUNK_WINDOWS * (window_vectors - 1);
     let make_scratch = || EngineScratch {
-        engine: dta_engine(unit, tuning.lanes, tuning.backend).expect("tuning validated above"),
+        engine: dta_engine(unit, lanes, tuning.backend).expect("tuning validated above"),
         flat: vec![false; window_vectors * width],
     };
     let run_chunk = |ci: usize, scratch: &mut EngineScratch| -> Vec<OpErrorStats> {
@@ -735,22 +847,28 @@ pub fn dta_campaign_sampled_tuned(
 ) -> Result<Vec<OpErrorStats>, TeiError> {
     // Validate up front (and fail instead of silently coercing an
     // unsupported lane width); workers build from the validated tuning.
-    drop(dta_engine(unit, tuning.lanes, tuning.backend)?);
+    let lanes = resolve_lanes(
+        tuning.lanes,
+        tuning.backend,
+        tei_kernels::registry().covers(unit),
+    );
+    drop(dta_engine(unit, lanes, tuning.backend)?);
     let outputs = unit.result_port().to_vec();
     let compiled = unit.dta_compiled();
     let factors: Vec<f64> = levels.iter().map(|vr| vr.derating_factor()).collect();
-    let live = live_bits(compiled, &outputs, &factors, clk, tuning);
+    let prune = resolve_prune(unit, clk, levels, tuning.prune);
+    let live = live_bits(compiled, &outputs, &factors, clk, prune.enabled);
 
     // Sampled transitions are disjoint, so each window packs
     // `prev, cur` vector pairs and analyzes the even transitions only
     // (odd lanes straddle unrelated samples). Chunk ci covers a
     // contiguous run of sample indices; index order is preserved.
     let width = unit.input_width();
-    let window_vectors = tuning.lanes * 64;
+    let window_vectors = lanes * 64;
     let samples_per_window = window_vectors / 2;
     let span = CHUNK_WINDOWS * samples_per_window;
     let make_scratch = || EngineScratch {
-        engine: dta_engine(unit, tuning.lanes, tuning.backend).expect("tuning validated above"),
+        engine: dta_engine(unit, lanes, tuning.backend).expect("tuning validated above"),
         flat: vec![false; window_vectors * width],
     };
     let run_chunk = |ci: usize, scratch: &mut EngineScratch| -> Vec<OpErrorStats> {
@@ -1047,7 +1165,7 @@ mod tests {
         let op = FpOp::new(FpOpKind::Add, Precision::Single);
         let pairs = random_operand_pairs(op, 8, 7);
         let tuning = DtaTuning {
-            lanes: 3,
+            lanes: Some(3),
             ..DtaTuning::default()
         };
         let err = dta_campaign_tuned(
@@ -1063,6 +1181,96 @@ mod tests {
             matches!(err, TeiError::Config { .. }),
             "unsupported lanes must be a config error, got {err}"
         );
+    }
+
+    #[test]
+    fn lane_auto_pick_follows_measured_per_backend_order() {
+        // Explicit requests always win, whatever the backend.
+        for backend in [
+            KernelBackend::Interpreter,
+            KernelBackend::Generated,
+            KernelBackend::Auto,
+        ] {
+            for fresh in [false, true] {
+                for lanes in [1usize, 4, 8] {
+                    assert_eq!(resolve_lanes(Some(lanes), backend, fresh), lanes);
+                }
+            }
+        }
+        // Auto picks the head of the measured order for the engine that
+        // will actually run: the interpreter's best is W4 (W8 was the
+        // measured regression), the generated kernel's best is W8.
+        assert_eq!(
+            resolve_lanes(None, KernelBackend::Interpreter, true),
+            INTERP_LANE_ORDER[0]
+        );
+        assert_eq!(
+            resolve_lanes(None, KernelBackend::Auto, false),
+            INTERP_LANE_ORDER[0],
+            "auto without a fresh kernel runs the interpreter"
+        );
+        assert_eq!(
+            resolve_lanes(None, KernelBackend::Auto, true),
+            CODEGEN_LANE_ORDER[0]
+        );
+        assert_eq!(
+            resolve_lanes(None, KernelBackend::Generated, false),
+            CODEGEN_LANE_ORDER[0]
+        );
+        // The dispatch tables themselves must stay permutations of the
+        // supported widths — a typo here would silently break auto.
+        for order in [INTERP_LANE_ORDER, CODEGEN_LANE_ORDER] {
+            let mut sorted = order;
+            sorted.sort_unstable();
+            assert_eq!(sorted, config::SUPPORTED_LANES);
+        }
+        // The shipped bank has fresh kernels, so the default tuning on
+        // a fresh registry resolves to the codegen-best width.
+        let (bank, _) = default_bank();
+        let unit = bank.unit(FpOp::new(FpOpKind::Add, Precision::Single));
+        assert!(tei_kernels::registry().covers(unit));
+        assert_eq!(
+            resolve_lanes(
+                None,
+                KernelBackend::Auto,
+                tei_kernels::registry().covers(unit)
+            ),
+            CODEGEN_LANE_ORDER[0]
+        );
+    }
+
+    #[test]
+    fn prune_policy_resolves_against_the_oracle() {
+        let (bank, spec) = default_bank();
+        let unit = bank.unit(FpOp::new(FpOpKind::Add, Precision::Single));
+        let levels = [VoltageReduction::VR15, VoltageReduction::VR20];
+        let auto = resolve_prune(unit, spec.clk, &levels, PrunePolicy::Auto);
+        let on = resolve_prune(unit, spec.clk, &levels, PrunePolicy::ForceOn);
+        let off = resolve_prune(unit, spec.clk, &levels, PrunePolicy::ForceOff);
+        assert!(on.enabled && !off.enabled);
+        assert_eq!(auto.safe_fraction, on.safe_fraction);
+        assert_eq!(
+            auto.enabled,
+            auto.safe_fraction >= PRUNE_MIN_SAFE_FRACTION,
+            "auto must be exactly the threshold comparison, measured fraction {}",
+            auto.safe_fraction
+        );
+        // The decision is a pure perf knob: forcing pruning on and off
+        // must produce byte-identical statistics either way.
+        let pairs = random_operand_pairs(FpOp::new(FpOpKind::Add, Precision::Single), 120, 23);
+        let stats: Vec<String> = [PrunePolicy::ForceOn, PrunePolicy::ForceOff]
+            .into_iter()
+            .map(|prune| {
+                let tuning = DtaTuning {
+                    prune,
+                    ..DtaTuning::default()
+                };
+                let s = dta_campaign_tuned(unit, &pairs, spec.clk, &levels, 1, tuning)
+                    .expect("campaign succeeds");
+                serde_json::to_string(&s).expect("stats serialize")
+            })
+            .collect();
+        assert_eq!(stats[0], stats[1], "pruning must never change statistics");
     }
 
     #[test]

@@ -83,6 +83,22 @@ pub enum TeiError {
     /// A worker pool could not be joined — the scoped-thread invariant
     /// (workers never unwind past their isolation boundary) was violated.
     WorkerPool(&'static str),
+    /// A fabric peer (worker, coordinator, or client) violated the wire
+    /// protocol: bad handshake token, corrupt frame, or a message that is
+    /// not valid in the connection's current state.
+    Protocol {
+        /// Which peer misbehaved (e.g. `worker 3`, `client 127.0.0.1:…`).
+        peer: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The multi-process campaign fabric failed as a whole: workers could
+    /// not be spawned, every worker died with leases outstanding, or the
+    /// final merge found conflicting records.
+    Fabric {
+        /// What went wrong.
+        detail: String,
+    },
     /// Structural lints found defects in a netlist a campaign was about
     /// to analyze (combinational loops, floating nets, dead logic, …).
     NetlistLint {
@@ -136,6 +152,10 @@ impl fmt::Display for TeiError {
                  journal flushed, re-run to resume"
             ),
             TeiError::WorkerPool(what) => write!(f, "worker pool failure in {what}"),
+            TeiError::Protocol { peer, detail } => {
+                write!(f, "fabric protocol violation from {peer}: {detail}")
+            }
+            TeiError::Fabric { detail } => write!(f, "campaign fabric failed: {detail}"),
             TeiError::NetlistLint {
                 design,
                 diagnostics,

@@ -1,0 +1,943 @@
+//! The fabric coordinator: spawns workers, grants leases, survives
+//! worker death, and merges the final result.
+//!
+//! One scheduler thread owns all state; per-connection reader threads
+//! and a timer thread feed it events over a channel, so there is no
+//! shared-state locking anywhere in the control plane. Worker death is
+//! detected on the fast path by socket EOF (the kernel closes a killed
+//! process's sockets immediately) and on the slow path by lease expiry
+//! (a hung worker's lease is demoted and re-granted; if the zombie
+//! later completes it anyway, the duplicate records are byte-identical
+//! and the merge deduplicates them — see [`crate::fabric::merge`]).
+
+use crate::campaign::CampaignResult;
+use crate::error::TeiError;
+use crate::fabric::lease::LeaseTable;
+use crate::fabric::wire::{self, Message};
+use crate::fabric::{merge, CampaignSpec, ResolvedCampaign};
+use crate::journal::{fnv64, CampaignManifest};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Kill a specific worker with SIGKILL once the fleet has completed a
+/// number of leases — the deterministic chaos hook behind the fabric's
+/// kill-and-reassign smoke tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosKill {
+    /// Worker index to kill.
+    pub worker: u32,
+    /// Fire once this many leases completed fleet-wide.
+    pub after_leases: u64,
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Worker processes to spawn.
+    pub workers: usize,
+    /// Journal directory shared by the fleet.
+    pub journal_dir: PathBuf,
+    /// Target leases per worker when partitioning (coarser ⇒ less
+    /// coordination, finer ⇒ cheaper reassignment on death).
+    pub leases_per_worker: usize,
+    /// Backstop for hung workers: a granted lease older than this is
+    /// demoted and re-granted. Socket EOF catches dead workers long
+    /// before this fires.
+    pub lease_timeout: Duration,
+    /// Worker process command (program + leading args); the coordinator
+    /// appends `--connect/--token/--index/--journal-dir`.
+    pub worker_cmd: Vec<String>,
+    /// Test-only: SIGKILL a worker mid-campaign.
+    pub chaos_kill_worker: Option<ChaosKill>,
+}
+
+impl FabricConfig {
+    /// A config with defaults for everything but the worker command and
+    /// journal directory.
+    pub fn new(worker_cmd: Vec<String>, journal_dir: PathBuf) -> Self {
+        FabricConfig {
+            workers: 2,
+            journal_dir,
+            leases_per_worker: 4,
+            lease_timeout: Duration::from_secs(600),
+            worker_cmd,
+            chaos_kill_worker: None,
+        }
+    }
+}
+
+/// Progress events the coordinator narrates (CLI prints them, tests
+/// assert on them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricEvent {
+    /// A worker process was spawned.
+    WorkerSpawned {
+        /// Worker index.
+        worker: u32,
+    },
+    /// A worker completed its handshake.
+    WorkerConnected {
+        /// Worker index.
+        worker: u32,
+    },
+    /// A worker died or was poisoned; its leases went back to pending.
+    WorkerDied {
+        /// Worker index.
+        worker: u32,
+        /// Leases demoted back to pending.
+        reassigned: usize,
+    },
+    /// A lease was granted.
+    LeaseGranted {
+        /// Campaign id.
+        campaign: u64,
+        /// Worker index.
+        worker: u32,
+        /// Lease range start.
+        lo: u64,
+        /// Lease range end (exclusive).
+        hi: u64,
+    },
+    /// Durable progress after a lease completed.
+    Progress {
+        /// Campaign id.
+        campaign: u64,
+        /// Runs durably journaled.
+        completed: u64,
+        /// Total runs.
+        total: u64,
+    },
+    /// A campaign was queued.
+    Queued {
+        /// Campaign id.
+        campaign: u64,
+        /// Benchmark name.
+        benchmark: String,
+    },
+    /// A campaign merged and finished.
+    Finished {
+        /// Campaign id.
+        campaign: u64,
+    },
+    /// The chaos hook killed a worker.
+    ChaosKilled {
+        /// Worker index.
+        worker: u32,
+    },
+}
+
+/// Scheduler-thread events from the I/O threads.
+enum Event {
+    NewConn {
+        id: u64,
+        stream: TcpStream,
+        peer: String,
+    },
+    Msg {
+        id: u64,
+        msg: Message,
+    },
+    Closed {
+        id: u64,
+    },
+    Tick,
+}
+
+enum ConnKind {
+    Unknown,
+    Worker(u32),
+    Client,
+}
+
+struct Conn {
+    stream: TcpStream,
+    peer: String,
+    kind: ConnKind,
+}
+
+struct WorkerState {
+    conn: u64,
+    busy: Option<(u64, u64, Instant)>, // (job, lease, granted at)
+    ready: HashSet<u64>,
+}
+
+struct Job {
+    spec: CampaignSpec,
+    resolved: ResolvedCampaign,
+    manifest: CampaignManifest,
+    table: LeaseTable,
+    client: Option<u64>,
+}
+
+/// What queuing a campaign produced: either it was already complete on
+/// disk (merged immediately) or it is now active under an id.
+enum Queued {
+    AlreadyComplete(Box<CampaignResult>),
+    Active(u64),
+}
+
+struct Coordinator<'a> {
+    cfg: &'a FabricConfig,
+    listener: TcpListener,
+    addr: String,
+    token: u64,
+    tx: Sender<Event>,
+    rx: Receiver<Event>,
+    conn_ids: Arc<AtomicU64>,
+    stop_accept: Arc<AtomicBool>,
+    conns: HashMap<u64, Conn>,
+    workers: HashMap<u32, WorkerState>,
+    children: HashMap<u32, Child>,
+    jobs: BTreeMap<u64, Job>,
+    next_job: u64,
+    golden_cache: HashMap<(String, String), std::sync::Arc<crate::campaign::GoldenRun>>,
+    finished: Vec<(u64, CampaignResult)>,
+    total_lease_done: u64,
+    chaos_fired: bool,
+}
+
+impl<'a> Coordinator<'a> {
+    fn bind(cfg: &'a FabricConfig, listen: &str) -> Result<Coordinator<'a>, TeiError> {
+        let listener = TcpListener::bind(listen).map_err(|e| TeiError::Fabric {
+            detail: format!("bind coordinator socket {listen}: {e}"),
+        })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| TeiError::Fabric {
+                detail: format!("resolve coordinator address: {e}"),
+            })?
+            .to_string();
+        // Spawn token: keeps stray local connections from masquerading
+        // as fleet workers. Not cryptographic — the threat model is
+        // accident, not attack, on a loopback socket.
+        let mut seed = Vec::new();
+        seed.extend_from_slice(&std::process::id().to_le_bytes());
+        if let Ok(t) = std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+            seed.extend_from_slice(&t.subsec_nanos().to_le_bytes());
+            seed.extend_from_slice(&t.as_secs().to_le_bytes());
+        }
+        let token = fnv64(&seed);
+        let (tx, rx) = channel();
+        Ok(Coordinator {
+            cfg,
+            listener,
+            addr,
+            token,
+            tx,
+            rx,
+            conn_ids: Arc::new(AtomicU64::new(1)),
+            stop_accept: Arc::new(AtomicBool::new(false)),
+            conns: HashMap::new(),
+            workers: HashMap::new(),
+            children: HashMap::new(),
+            jobs: BTreeMap::new(),
+            next_job: 1,
+            golden_cache: HashMap::new(),
+            finished: Vec::new(),
+            total_lease_done: 0,
+            chaos_fired: false,
+        })
+    }
+
+    /// Start the accept, reader, and timer threads.
+    fn start_io(&self) -> Result<(), TeiError> {
+        let listener = self.listener.try_clone().map_err(|e| TeiError::Fabric {
+            detail: format!("clone listener: {e}"),
+        })?;
+        let tx = self.tx.clone();
+        let ids = Arc::clone(&self.conn_ids);
+        let stop = Arc::clone(&self.stop_accept);
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                stream.set_nodelay(true).ok();
+                let peer = stream
+                    .peer_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "unknown".to_string());
+                let Ok(read_half) = stream.try_clone() else {
+                    continue;
+                };
+                let id = ids.fetch_add(1, Ordering::Relaxed);
+                if tx
+                    .send(Event::NewConn {
+                        id,
+                        stream,
+                        peer: peer.clone(),
+                    })
+                    .is_err()
+                {
+                    break;
+                }
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let mut r = read_half;
+                    loop {
+                        match wire::recv(&mut r, &peer) {
+                            Ok(Some(msg)) => {
+                                if tx.send(Event::Msg { id, msg }).is_err() {
+                                    break;
+                                }
+                            }
+                            Ok(None) | Err(_) => {
+                                let _ = tx.send(Event::Closed { id });
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let tx = self.tx.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(200));
+            if tx.send(Event::Tick).is_err() {
+                break;
+            }
+        });
+        Ok(())
+    }
+
+    fn spawn_workers(&mut self, on_event: &mut dyn FnMut(&FabricEvent)) -> Result<(), TeiError> {
+        let Some(program) = self.cfg.worker_cmd.first() else {
+            return Err(TeiError::Fabric {
+                detail: "empty worker command".to_string(),
+            });
+        };
+        for i in 0..self.cfg.workers as u32 {
+            let child = Command::new(program)
+                .args(&self.cfg.worker_cmd[1..])
+                .arg("--connect")
+                .arg(&self.addr)
+                .arg("--token")
+                .arg(self.token.to_string())
+                .arg("--index")
+                .arg(i.to_string())
+                .arg("--journal-dir")
+                .arg(&self.cfg.journal_dir)
+                .stdin(Stdio::null())
+                .spawn()
+                .map_err(|e| TeiError::Fabric {
+                    detail: format!("spawn worker {i} ({program}): {e}"),
+                })?;
+            self.children.insert(i, child);
+            on_event(&FabricEvent::WorkerSpawned { worker: i });
+        }
+        Ok(())
+    }
+
+    /// Queue one campaign: resolve it, reconcile journals + lease
+    /// table, and either finish immediately (nothing missing) or
+    /// launch it to every connected worker.
+    fn queue_job(
+        &mut self,
+        spec: CampaignSpec,
+        client: Option<u64>,
+        on_event: &mut dyn FnMut(&FabricEvent),
+    ) -> Result<Queued, TeiError> {
+        let parsed = spec.parse()?;
+        let bench = tei_workloads::build(parsed.id, parsed.scale);
+        let golden = match self.golden_cache.get(&spec.golden_key()) {
+            Some(g) => std::sync::Arc::clone(g),
+            None => {
+                let g = std::sync::Arc::new(crate::campaign::GoldenRun::capture(
+                    &bench,
+                    crate::fabric::GOLDEN_MEM_BYTES,
+                    u64::MAX,
+                )?);
+                self.golden_cache
+                    .insert(spec.golden_key(), std::sync::Arc::clone(&g));
+                g
+            }
+        };
+        let resolved = spec.resolve_with_golden(parsed, bench, golden);
+        let manifest = resolved.manifest();
+        std::fs::create_dir_all(&self.cfg.journal_dir)
+            .map_err(|e| TeiError::io("create journal dir", &self.cfg.journal_dir, e))?;
+        let merged = merge::scan_journals(&self.cfg.journal_dir, &manifest)?;
+        // A persisted lease table must agree with the journals (and be
+        // ours at all — load refuses foreign manifest hashes).
+        if let Some(prev) = LeaseTable::load(&self.cfg.journal_dir, &manifest)? {
+            let journaled: HashSet<u64> = merged.records.keys().copied().collect();
+            prev.verify_against(&journaled)?;
+        }
+        let missing = merged.missing(manifest.runs);
+        if missing.is_empty() {
+            let result = merge::merged_result(
+                &resolved.bench.id.to_string(),
+                &resolved.golden,
+                &resolved.model,
+                &manifest,
+                &self.cfg.journal_dir,
+            )?;
+            return Ok(Queued::AlreadyComplete(Box::new(result)));
+        }
+        let target = (self.cfg.workers * self.cfg.leases_per_worker).max(1);
+        let table = LeaseTable::partition(&manifest, &missing, target);
+        table.save(&self.cfg.journal_dir, &manifest)?;
+        let id = self.next_job;
+        self.next_job += 1;
+        on_event(&FabricEvent::Queued {
+            campaign: id,
+            benchmark: spec.benchmark.clone(),
+        });
+        let launch = Message::Launch {
+            campaign: id,
+            spec: spec.clone(),
+        };
+        self.jobs.insert(
+            id,
+            Job {
+                spec,
+                resolved,
+                manifest,
+                table,
+                client,
+            },
+        );
+        // Launch to every already-connected worker; workers that
+        // connect later get launched in the Hello handler.
+        let worker_conns: Vec<u64> = self.workers.values().map(|w| w.conn).collect();
+        for conn in worker_conns {
+            self.send_to(conn, &launch);
+        }
+        Ok(Queued::Active(id))
+    }
+
+    /// Best-effort send; a failed write is handled when the reader
+    /// thread reports the connection closed.
+    fn send_to(&mut self, conn_id: u64, msg: &Message) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            let _ = wire::send(&mut conn.stream, &conn.peer, msg);
+        }
+    }
+
+    /// Grant pending leases to idle, ready workers.
+    fn pump(&mut self, on_event: &mut dyn FnMut(&FabricEvent)) {
+        let worker_ids: Vec<u32> = self.workers.keys().copied().collect();
+        for windex in worker_ids {
+            let Some(w) = self.workers.get(&windex) else {
+                continue;
+            };
+            if w.busy.is_some() {
+                continue;
+            }
+            let ready = w.ready.clone();
+            let conn = w.conn;
+            // Lowest job id first: queued campaigns drain in order while
+            // later ones still overlap once workers free up.
+            let grant = self.jobs.iter_mut().find_map(|(&jid, job)| {
+                if !ready.contains(&jid) {
+                    return None;
+                }
+                job.table.next_pending().map(|lease| {
+                    job.table.grant(lease.id, windex);
+                    (jid, lease)
+                })
+            });
+            let Some((jid, lease)) = grant else { continue };
+            if let Some(w) = self.workers.get_mut(&windex) {
+                w.busy = Some((jid, lease.id, Instant::now()));
+            }
+            self.send_to(
+                conn,
+                &Message::Grant {
+                    campaign: jid,
+                    lease: lease.id,
+                    lo: lease.lo,
+                    hi: lease.hi,
+                },
+            );
+            on_event(&FabricEvent::LeaseGranted {
+                campaign: jid,
+                worker: windex,
+                lo: lease.lo,
+                hi: lease.hi,
+            });
+        }
+    }
+
+    /// A worker died or was poisoned: demote its leases, drop its
+    /// state, and reap the child process.
+    fn on_worker_dead(&mut self, windex: u32, on_event: &mut dyn FnMut(&FabricEvent)) {
+        let Some(w) = self.workers.remove(&windex) else {
+            return;
+        };
+        self.conns.remove(&w.conn);
+        let mut reassigned = 0;
+        for job in self.jobs.values_mut() {
+            reassigned += job.table.demote_worker(windex);
+        }
+        if let Some(mut child) = self.children.remove(&windex) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        on_event(&FabricEvent::WorkerDied {
+            worker: windex,
+            reassigned,
+        });
+    }
+
+    /// SIGKILL the chaos target once the completion threshold is hit
+    /// and the target is mid-lease (so the kill provably lands inside a
+    /// lease, which is what the reassignment machinery must survive).
+    fn chaos_check(&mut self, on_event: &mut dyn FnMut(&FabricEvent)) {
+        if self.chaos_fired {
+            return;
+        }
+        let Some(kill) = self.cfg.chaos_kill_worker else {
+            return;
+        };
+        if self.total_lease_done < kill.after_leases {
+            return;
+        }
+        let busy = self
+            .workers
+            .get(&kill.worker)
+            .is_some_and(|w| w.busy.is_some());
+        if !busy {
+            return;
+        }
+        if let Some(child) = self.children.get_mut(&kill.worker) {
+            // SIGKILL on unix: no drain, no flush — the worst case the
+            // journals must absorb.
+            let _ = child.kill();
+            self.chaos_fired = true;
+            on_event(&FabricEvent::ChaosKilled {
+                worker: kill.worker,
+            });
+        }
+    }
+
+    /// Finish one campaign: merge, notify, retire.
+    fn finalize(
+        &mut self,
+        jid: u64,
+        on_event: &mut dyn FnMut(&FabricEvent),
+    ) -> Result<(), TeiError> {
+        let Some(job) = self.jobs.remove(&jid) else {
+            return Ok(());
+        };
+        job.table.save(&self.cfg.journal_dir, &job.manifest)?;
+        let result = merge::merged_result(
+            &job.resolved.bench.id.to_string(),
+            &job.resolved.golden,
+            &job.resolved.model,
+            &job.manifest,
+            &self.cfg.journal_dir,
+        )?;
+        if let Some(client) = job.client {
+            let body = serde_json::to_string(&result).unwrap_or_default();
+            self.send_to(
+                client,
+                &Message::Finished {
+                    campaign: jid,
+                    result: body,
+                },
+            );
+        }
+        let worker_conns: Vec<u64> = self.workers.values().map(|w| w.conn).collect();
+        for conn in worker_conns {
+            self.send_to(conn, &Message::Retire { campaign: jid });
+        }
+        for w in self.workers.values_mut() {
+            w.ready.remove(&jid);
+        }
+        on_event(&FabricEvent::Finished { campaign: jid });
+        self.finished.push((jid, result));
+        Ok(())
+    }
+
+    fn handle_msg(
+        &mut self,
+        conn_id: u64,
+        msg: Message,
+        on_event: &mut dyn FnMut(&FabricEvent),
+    ) -> Result<(), TeiError> {
+        match msg {
+            Message::Hello { token, worker } => {
+                if token != self.token {
+                    // Stray connection: drop it, not the fabric.
+                    if let Some(conn) = self.conns.remove(&conn_id) {
+                        eprintln!("[fabric] refused connection from {} (bad token)", conn.peer);
+                    }
+                    return Ok(());
+                }
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.kind = ConnKind::Worker(worker);
+                }
+                self.workers.insert(
+                    worker,
+                    WorkerState {
+                        conn: conn_id,
+                        busy: None,
+                        ready: HashSet::new(),
+                    },
+                );
+                on_event(&FabricEvent::WorkerConnected { worker });
+                let launches: Vec<Message> = self
+                    .jobs
+                    .iter()
+                    .map(|(&jid, job)| Message::Launch {
+                        campaign: jid,
+                        spec: job.spec.clone(),
+                    })
+                    .collect();
+                for launch in launches {
+                    self.send_to(conn_id, &launch);
+                }
+            }
+            Message::Ready {
+                campaign,
+                manifest_hash,
+            } => {
+                let Some(windex) = self.worker_of(conn_id) else {
+                    return Ok(());
+                };
+                let Some(job) = self.jobs.get(&campaign) else {
+                    return Ok(()); // already finished; worker will be retired
+                };
+                let expected = job.manifest.hash();
+                if manifest_hash != expected {
+                    // The worker binary resolves the same spec to a
+                    // different campaign identity — merging its journal
+                    // would be silent corruption. Fatal.
+                    return Err(TeiError::Protocol {
+                        peer: format!("worker {windex}"),
+                        detail: format!(
+                            "manifest drift: worker derived {manifest_hash:#018x}, \
+                             coordinator {expected:#018x} — rebuild the fleet from one binary"
+                        ),
+                    });
+                }
+                if let Some(w) = self.workers.get_mut(&windex) {
+                    w.ready.insert(campaign);
+                }
+                self.pump(on_event);
+            }
+            Message::LeaseDone {
+                campaign, lease, ..
+            } => {
+                let Some(windex) = self.worker_of(conn_id) else {
+                    return Ok(());
+                };
+                if let Some(w) = self.workers.get_mut(&windex) {
+                    w.busy = None;
+                }
+                self.total_lease_done += 1;
+                let mut done_job = None;
+                if let Some(job) = self.jobs.get_mut(&campaign) {
+                    job.table.complete(lease);
+                    job.table.save(&self.cfg.journal_dir, &job.manifest)?;
+                    let completed = job.table.completed_runs();
+                    let total = job.manifest.runs;
+                    let client = job.client;
+                    on_event(&FabricEvent::Progress {
+                        campaign,
+                        completed,
+                        total,
+                    });
+                    if let Some(client) = client {
+                        self.send_to(
+                            client,
+                            &Message::Progress {
+                                campaign,
+                                completed,
+                                total,
+                            },
+                        );
+                    }
+                    if self.jobs.get(&campaign).is_some_and(|j| j.table.all_done()) {
+                        done_job = Some(campaign);
+                    }
+                }
+                self.chaos_check(on_event);
+                if let Some(jid) = done_job {
+                    self.finalize(jid, on_event)?;
+                }
+                self.pump(on_event);
+            }
+            Message::WorkerError { detail } => {
+                eprintln!("[fabric] {detail}");
+                if let Some(windex) = self.worker_of(conn_id) {
+                    self.on_worker_dead(windex, on_event);
+                    self.pump(on_event);
+                }
+            }
+            Message::Submit { spec } => {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.kind = ConnKind::Client;
+                }
+                match self.queue_job(spec, Some(conn_id), on_event) {
+                    Ok(Queued::Active(id)) => {
+                        self.send_to(conn_id, &Message::Accepted { campaign: id });
+                        self.pump(on_event);
+                    }
+                    Ok(Queued::AlreadyComplete(result)) => {
+                        // Assign an id anyway so the client sees the
+                        // normal accepted → finished sequence.
+                        let id = self.next_job;
+                        self.next_job += 1;
+                        self.send_to(conn_id, &Message::Accepted { campaign: id });
+                        let body = serde_json::to_string(&*result).unwrap_or_default();
+                        self.send_to(
+                            conn_id,
+                            &Message::Finished {
+                                campaign: id,
+                                result: body,
+                            },
+                        );
+                        self.finished.push((id, *result));
+                    }
+                    Err(e) => {
+                        self.send_to(
+                            conn_id,
+                            &Message::Refused {
+                                detail: e.to_string(),
+                            },
+                        );
+                    }
+                }
+            }
+            other => {
+                let peer = self
+                    .conns
+                    .get(&conn_id)
+                    .map(|c| c.peer.clone())
+                    .unwrap_or_else(|| "unknown".to_string());
+                eprintln!("[fabric] ignoring unexpected message from {peer}: {other:?}");
+            }
+        }
+        Ok(())
+    }
+
+    fn worker_of(&self, conn_id: u64) -> Option<u32> {
+        match self.conns.get(&conn_id).map(|c| &c.kind) {
+            Some(&ConnKind::Worker(w)) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Demote leases whose grant outlived the timeout (hung worker).
+    fn expire_leases(&mut self, on_event: &mut dyn FnMut(&FabricEvent)) {
+        let timeout = self.cfg.lease_timeout;
+        let mut expired: Vec<(u32, u64, u64)> = Vec::new();
+        for (&windex, w) in &self.workers {
+            if let Some((jid, lease, granted)) = w.busy {
+                if granted.elapsed() > timeout {
+                    expired.push((windex, jid, lease));
+                }
+            }
+        }
+        for (windex, jid, lease) in expired {
+            eprintln!(
+                "[fabric] lease {lease} of campaign {jid} on worker {windex} expired; reassigning"
+            );
+            if let Some(job) = self.jobs.get_mut(&jid) {
+                job.table.demote(lease);
+            }
+            if let Some(w) = self.workers.get_mut(&windex) {
+                w.busy = None;
+            }
+        }
+        self.pump(on_event);
+    }
+
+    /// Any job still holding unfinished leases?
+    fn unfinished(&self) -> bool {
+        self.jobs.values().any(|j| !j.table.all_done())
+    }
+
+    /// Graceful teardown: ask workers to exit, give them a moment, then
+    /// make sure.
+    fn shutdown_fleet(&mut self) {
+        self.stop_accept.store(true, Ordering::Relaxed);
+        let worker_conns: Vec<u64> = self.workers.values().map(|w| w.conn).collect();
+        for conn in worker_conns {
+            self.send_to(conn, &Message::Shutdown);
+        }
+        // Wake the blocked accept loop so its thread exits.
+        let _ = TcpStream::connect(&self.addr);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for (_, child) in self.children.iter_mut() {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+        self.children.clear();
+    }
+
+    /// The scheduler loop. With `until_job` set (one-shot mode) it
+    /// returns when that campaign finishes; otherwise it serves until a
+    /// shutdown signal.
+    fn run_loop(
+        &mut self,
+        until_job: Option<u64>,
+        on_event: &mut dyn FnMut(&FabricEvent),
+    ) -> Result<(), TeiError> {
+        loop {
+            if let Some(target) = until_job {
+                if self.finished.iter().any(|(id, _)| *id == target) {
+                    return Ok(());
+                }
+            }
+            let event = self.rx.recv().map_err(|_| TeiError::Fabric {
+                detail: "coordinator event channel closed".to_string(),
+            })?;
+            match event {
+                Event::NewConn { id, stream, peer } => {
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            peer,
+                            kind: ConnKind::Unknown,
+                        },
+                    );
+                }
+                Event::Msg { id, msg } => self.handle_msg(id, msg, on_event)?,
+                Event::Closed { id } => {
+                    if let Some(windex) = self.worker_of(id) {
+                        self.on_worker_dead(windex, on_event);
+                        self.pump(on_event);
+                    } else {
+                        // A client (or a pre-handshake stranger) left:
+                        // detach it from any job it was watching.
+                        for job in self.jobs.values_mut() {
+                            if job.client == Some(id) {
+                                job.client = None;
+                            }
+                        }
+                        self.conns.remove(&id);
+                    }
+                    if self.workers.is_empty() && self.children.is_empty() && self.unfinished() {
+                        return Err(TeiError::Fabric {
+                            detail: "every worker died with leases outstanding; \
+                                     journals are intact — re-run to resume"
+                                .to_string(),
+                        });
+                    }
+                }
+                Event::Tick => {
+                    if crate::shutdown::requested() {
+                        let completed: u64 =
+                            self.jobs.values().map(|j| j.table.completed_runs()).sum();
+                        let requested: u64 = self.jobs.values().map(|j| j.manifest.runs).sum();
+                        return Err(TeiError::Interrupted {
+                            completed,
+                            requested,
+                        });
+                    }
+                    self.expire_leases(on_event);
+                    self.chaos_check(on_event);
+                    // Reap chaos-killed (or otherwise dead) children
+                    // whose sockets have not reported EOF yet.
+                    let dead: Vec<u32> = self
+                        .children
+                        .iter_mut()
+                        .filter_map(|(&i, c)| matches!(c.try_wait(), Ok(Some(_))).then_some(i))
+                        .collect();
+                    for windex in dead {
+                        self.on_worker_dead(windex, on_event);
+                        self.pump(on_event);
+                    }
+                    if self.workers.is_empty() && self.children.is_empty() && self.unfinished() {
+                        return Err(TeiError::Fabric {
+                            detail: "every worker died with leases outstanding; \
+                                     journals are intact — re-run to resume"
+                                .to_string(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run one campaign over a locally spawned worker fleet and return the
+/// merged result (`tei campaign --workers N`). If the journals already
+/// cover every run, the merge happens without spawning anything.
+///
+/// # Errors
+///
+/// [`TeiError::Fabric`] / [`TeiError::Protocol`] for fleet failures,
+/// [`TeiError::Interrupted`] on SIGINT/SIGTERM (journals and lease
+/// table are flushed; re-running resumes), plus anything campaign
+/// resolution or the merge surfaces.
+pub fn run_fabric_campaign(
+    spec: &CampaignSpec,
+    cfg: &FabricConfig,
+    on_event: &mut dyn FnMut(&FabricEvent),
+) -> Result<CampaignResult, TeiError> {
+    crate::config::validate_env()?;
+    crate::shutdown::install_handlers();
+    let mut coord = Coordinator::bind(cfg, "127.0.0.1:0")?;
+    let queued = coord.queue_job(spec.clone(), None, on_event)?;
+    let target = match queued {
+        Queued::AlreadyComplete(result) => return Ok(*result),
+        Queued::Active(id) => id,
+    };
+    coord.start_io()?;
+    coord.spawn_workers(on_event)?;
+    let run = coord.run_loop(Some(target), on_event);
+    coord.shutdown_fleet();
+    run?;
+    coord
+        .finished
+        .into_iter()
+        .find_map(|(id, r)| (id == target).then_some(r))
+        .ok_or_else(|| TeiError::Fabric {
+            detail: "campaign loop exited without a result".to_string(),
+        })
+}
+
+/// Long-running fabric server (`tei serve`): listens on `listen` for
+/// client submissions and worker handshakes, keeps one worker fleet
+/// and its golden/checkpoint caches warm across queued campaigns, and
+/// streams progress + final results to each submitting client. Returns
+/// on SIGINT/SIGTERM.
+///
+/// # Errors
+///
+/// [`TeiError::Fabric`] when the fleet collapses;
+/// [`TeiError::Interrupted`] is the *normal* signal-driven exit.
+pub fn serve(
+    listen: &str,
+    cfg: &FabricConfig,
+    on_event: &mut dyn FnMut(&FabricEvent),
+) -> Result<(), TeiError> {
+    crate::config::validate_env()?;
+    crate::shutdown::install_handlers();
+    let mut coord = Coordinator::bind(cfg, listen)?;
+    eprintln!(
+        "[fabric] serving on {} ({} workers)",
+        coord.addr, cfg.workers
+    );
+    coord.start_io()?;
+    coord.spawn_workers(on_event)?;
+    let run = coord.run_loop(None, on_event);
+    coord.shutdown_fleet();
+    match run {
+        Err(e) if e.is_interrupted() => Ok(()),
+        other => other,
+    }
+}

@@ -1,0 +1,385 @@
+//! Lease partitioning of a campaign's run-index space.
+//!
+//! A lease is a contiguous run range `[lo, hi)` granted to exactly one
+//! worker at a time. The table is built from the *journals* (the ground
+//! truth): runs already durably recorded in any per-worker journal are
+//! excluded, so a resumed campaign leases only the missing work. The
+//! table is persisted next to the journals
+//! ([`CampaignManifest::lease_file_name`]) keyed by the manifest hash —
+//! a table from a different campaign is refused, never reused — and
+//! re-verified against the journals on every resume: a `Done` lease
+//! whose runs are absent from every journal flags corruption loudly.
+//!
+//! Leases are deliberately coarse (a handful per worker): the unit of
+//! reassignment on worker death, not a work-stealing queue. Losing a
+//! worker mid-lease costs at most the unjournaled suffix of one lease,
+//! which the journals' run-level resume granularity then shrinks to
+//! nothing on the next partition.
+
+use crate::error::TeiError;
+use crate::journal::{atomic_write_checksummed, CampaignManifest};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+/// One leased run range `[lo, hi)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lease {
+    /// Stable lease id within the table.
+    pub id: u64,
+    /// First run index.
+    pub lo: u64,
+    /// One past the last run index.
+    pub hi: u64,
+}
+
+impl Lease {
+    /// Runs covered by the lease.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo
+    }
+
+    /// Whether the lease covers no runs (never true for built tables).
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+}
+
+/// Assignment state of one lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseState {
+    /// Not yet granted (or demoted after its worker died).
+    Pending,
+    /// Granted to a live worker.
+    Granted {
+        /// Worker index holding the lease.
+        worker: u32,
+    },
+    /// Every run in the range is durably journaled.
+    Done,
+}
+
+/// One table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseEntry {
+    /// The range.
+    pub lease: Lease,
+    /// Its state.
+    pub state: LeaseState,
+}
+
+/// The campaign's lease table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseTable {
+    /// Table format version.
+    pub version: u32,
+    /// Manifest hash of the campaign this table partitions — the
+    /// fingerprint [`LeaseTable::load`] refuses mismatches on.
+    pub manifest_hash: u64,
+    /// Total runs of the campaign.
+    pub runs: u64,
+    /// Runs that were already journaled when the table was built (they
+    /// appear in no lease).
+    pub already_complete: u64,
+    /// The leases.
+    pub entries: Vec<LeaseEntry>,
+}
+
+impl LeaseTable {
+    /// Partition the missing run indices (sorted, deduplicated) into
+    /// roughly `target_leases` contiguous leases. Contiguity is never
+    /// broken across a gap of already-completed runs, so every lease is
+    /// a dense range.
+    pub fn partition(
+        manifest: &CampaignManifest,
+        missing: &[u64],
+        target_leases: usize,
+    ) -> LeaseTable {
+        // Coalesce the missing indices into maximal contiguous ranges.
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for &run in missing {
+            match ranges.last_mut() {
+                Some((_, hi)) if *hi == run => *hi += 1,
+                _ => ranges.push((run, run + 1)),
+            }
+        }
+        // Split ranges so no lease exceeds ~total/target runs.
+        let total: u64 = ranges.iter().map(|(lo, hi)| hi - lo).sum();
+        let max_len = total.div_ceil(target_leases.max(1) as u64).max(1);
+        let mut entries = Vec::new();
+        let mut id = 0u64;
+        for (lo, hi) in ranges {
+            let mut cursor = lo;
+            while cursor < hi {
+                let end = (cursor + max_len).min(hi);
+                entries.push(LeaseEntry {
+                    lease: Lease {
+                        id,
+                        lo: cursor,
+                        hi: end,
+                    },
+                    state: LeaseState::Pending,
+                });
+                id += 1;
+                cursor = end;
+            }
+        }
+        LeaseTable {
+            version: 1,
+            manifest_hash: manifest.hash(),
+            runs: manifest.runs,
+            already_complete: manifest.runs - total,
+            entries,
+        }
+    }
+
+    /// The next pending lease, lowest run range first.
+    pub fn next_pending(&self) -> Option<Lease> {
+        self.entries
+            .iter()
+            .find(|e| e.state == LeaseState::Pending)
+            .map(|e| e.lease)
+    }
+
+    /// Mark a lease granted to `worker`.
+    pub fn grant(&mut self, lease_id: u64, worker: u32) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.lease.id == lease_id) {
+            e.state = LeaseState::Granted { worker };
+        }
+    }
+
+    /// Mark a lease done; returns `false` when it already was (a
+    /// duplicate completion from an expiry re-grant — harmless, the
+    /// records are identical).
+    pub fn complete(&mut self, lease_id: u64) -> bool {
+        match self.entries.iter_mut().find(|e| e.lease.id == lease_id) {
+            Some(e) if e.state != LeaseState::Done => {
+                e.state = LeaseState::Done;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Demote one granted lease back to pending (expiry path).
+    pub fn demote(&mut self, lease_id: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.lease.id == lease_id) {
+            if e.state != LeaseState::Done {
+                e.state = LeaseState::Pending;
+            }
+        }
+    }
+
+    /// Demote every lease granted to a dead worker; returns how many.
+    pub fn demote_worker(&mut self, worker: u32) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if e.state == (LeaseState::Granted { worker }) {
+                e.state = LeaseState::Pending;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Whether every lease is done.
+    pub fn all_done(&self) -> bool {
+        self.entries.iter().all(|e| e.state == LeaseState::Done)
+    }
+
+    /// Runs durably complete so far: the pre-existing journal records
+    /// plus every `Done` lease.
+    pub fn completed_runs(&self) -> u64 {
+        self.already_complete
+            + self
+                .entries
+                .iter()
+                .filter(|e| e.state == LeaseState::Done)
+                .map(|e| e.lease.len())
+                .sum::<u64>()
+    }
+
+    /// Consistency check against the journals' completed-run set: every
+    /// run of a `Done` lease must be journaled somewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`TeiError::Fabric`] naming the first missing run — a `Done`
+    /// lease with unjournaled runs means a journal was deleted or the
+    /// table is lying, either way not something to paper over.
+    pub fn verify_against(&self, journaled: &HashSet<u64>) -> Result<(), TeiError> {
+        for e in &self.entries {
+            if e.state != LeaseState::Done {
+                continue;
+            }
+            for run in e.lease.lo..e.lease.hi {
+                if !journaled.contains(&run) {
+                    return Err(TeiError::Fabric {
+                        detail: format!(
+                            "lease table marks lease {} ([{}, {})) done but run {run} \
+                             is in no journal; a journal file was lost",
+                            e.lease.id, e.lease.lo, e.lease.hi
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The table's on-disk path under `dir`.
+    pub fn path(dir: &Path, manifest: &CampaignManifest) -> PathBuf {
+        dir.join(manifest.lease_file_name())
+    }
+
+    /// Persist atomically (with a `.fnv` sidecar) next to the journals.
+    ///
+    /// # Errors
+    ///
+    /// [`TeiError::Io`] on filesystem failures.
+    pub fn save(&self, dir: &Path, manifest: &CampaignManifest) -> Result<(), TeiError> {
+        let body = serde_json::to_string_pretty(self).unwrap_or_default();
+        atomic_write_checksummed(&Self::path(dir, manifest), (body + "\n").as_bytes())?;
+        Ok(())
+    }
+
+    /// Load the persisted table, if any. Grants do not survive a
+    /// coordinator restart, so `Granted` entries demote to `Pending`.
+    ///
+    /// # Errors
+    ///
+    /// [`TeiError::Io`] on read failures, [`TeiError::Fabric`] for an
+    /// unparsable table, and [`TeiError::ManifestMismatch`] when the
+    /// table belongs to a different campaign.
+    pub fn load(dir: &Path, manifest: &CampaignManifest) -> Result<Option<LeaseTable>, TeiError> {
+        let path = Self::path(dir, manifest);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(TeiError::io("read lease table", &path, e)),
+        };
+        let text = String::from_utf8(bytes).map_err(|e| TeiError::Fabric {
+            detail: format!("unparsable lease table {}: {e}", path.display()),
+        })?;
+        let mut table: LeaseTable = serde_json::from_str(&text).map_err(|e| TeiError::Fabric {
+            detail: format!("unparsable lease table {}: {e}", path.display()),
+        })?;
+        let expected = manifest.hash();
+        if table.manifest_hash != expected {
+            return Err(TeiError::ManifestMismatch {
+                path,
+                expected,
+                found: table.manifest_hash,
+            });
+        }
+        for e in &mut table.entries {
+            if matches!(e.state, LeaseState::Granted { .. }) {
+                e.state = LeaseState::Pending;
+            }
+        }
+        Ok(Some(table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests should panic loudly, not thread errors.
+    #![allow(clippy::disallowed_methods)]
+
+    use super::*;
+
+    fn manifest(runs: u64) -> CampaignManifest {
+        CampaignManifest {
+            version: 1,
+            benchmark: "is".into(),
+            model: "DA-model".into(),
+            vr: "VR20".into(),
+            runs,
+            seed: 42,
+            timeout_factor_bits: 2.0f64.to_bits(),
+            golden_instructions: 1000,
+            golden_fp_ops: 100,
+            golden_output_fnv: 7,
+            model_fingerprint: 9,
+        }
+    }
+
+    #[test]
+    fn partition_covers_missing_exactly() {
+        let m = manifest(100);
+        // Missing runs with a completed gap in the middle.
+        let missing: Vec<u64> = (0..40).chain(60..100).collect();
+        let t = LeaseTable::partition(&m, &missing, 8);
+        let mut covered = HashSet::new();
+        for e in &t.entries {
+            assert!(!e.lease.is_empty());
+            assert_eq!(e.state, LeaseState::Pending);
+            for r in e.lease.lo..e.lease.hi {
+                assert!(covered.insert(r), "run {r} leased twice");
+            }
+        }
+        let want: HashSet<u64> = missing.iter().copied().collect();
+        assert_eq!(covered, want);
+        assert_eq!(t.already_complete, 20);
+        // No lease straddles the completed gap.
+        assert!(t
+            .entries
+            .iter()
+            .all(|e| e.lease.hi <= 40 || e.lease.lo >= 60));
+        // Roughly the requested granularity.
+        assert!(
+            t.entries.len() >= 8 && t.entries.len() <= 10,
+            "{}",
+            t.entries.len()
+        );
+    }
+
+    #[test]
+    fn grant_complete_demote_lifecycle() {
+        let m = manifest(10);
+        let missing: Vec<u64> = (0..10).collect();
+        let mut t = LeaseTable::partition(&m, &missing, 2);
+        let a = t.next_pending().unwrap();
+        t.grant(a.id, 0);
+        let b = t.next_pending().unwrap();
+        assert_ne!(a.id, b.id);
+        t.grant(b.id, 1);
+        assert!(t.next_pending().is_none());
+        // Worker 0 dies: its lease is pending again.
+        assert_eq!(t.demote_worker(0), 1);
+        assert_eq!(t.next_pending().unwrap().id, a.id);
+        t.grant(a.id, 1);
+        assert!(t.complete(a.id));
+        assert!(!t.complete(a.id), "double completion must be idempotent");
+        assert!(t.complete(b.id));
+        assert!(t.all_done());
+        assert_eq!(t.completed_runs(), 10);
+    }
+
+    #[test]
+    fn persistence_checks_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("tei-lease-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = manifest(10);
+        let missing: Vec<u64> = (0..10).collect();
+        let mut t = LeaseTable::partition(&m, &missing, 2);
+        let first = t.next_pending().unwrap();
+        t.grant(first.id, 3);
+        t.save(&dir, &m).unwrap();
+        let loaded = LeaseTable::load(&dir, &m).unwrap().unwrap();
+        // Grants do not survive a restart.
+        assert_eq!(loaded.next_pending().unwrap().id, first.id);
+        // A different campaign's table is refused.
+        let other = manifest(11);
+        std::fs::copy(LeaseTable::path(&dir, &m), LeaseTable::path(&dir, &other)).unwrap();
+        let err = LeaseTable::load(&dir, &other).unwrap_err();
+        assert!(matches!(err, TeiError::ManifestMismatch { .. }));
+        // Done leases must be backed by journaled runs.
+        t.complete(first.id);
+        let journaled: HashSet<u64> = (first.lo..first.hi).collect();
+        t.verify_against(&journaled).unwrap();
+        assert!(t.verify_against(&HashSet::new()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic merge of per-worker journals.
+//!
+//! The determinism argument, in full:
+//!
+//! 1. Every run's derived seed is `cell_seed ^ (run << 20)` — a pure
+//!    function of the campaign manifest and the run index, independent
+//!    of which process, thread, lease, or resume session executes it.
+//! 2. Given the seed, the draw is deterministic; given the draw, the
+//!    replayed outcome is deterministic (the `replay_equivalence` suite
+//!    proves this across engines and thread counts). So any two journal
+//!    records for the same run under the same manifest are
+//!    **byte-identical** — including quarantine records, whose chaos
+//!    hooks key on the run index.
+//! 3. [`OutcomeCounts`] is a bundle of commutative sums over run
+//!    indices, so folding the records in any order — here, ascending
+//!    run order out of a `BTreeMap` — yields the same tally.
+//!
+//! Therefore merging K per-worker journals produces the same
+//! `OutcomeCounts` as one single-process journal, for every worker
+//! count, lease schedule, and crash/resume history. Duplicate records
+//! (a worker died mid-lease, the lease was re-executed elsewhere) are
+//! deduplicated by byte-equality; a *conflicting* duplicate cannot come
+//! from the same manifest and is refused as corruption, never averaged
+//! away.
+
+use crate::campaign::{
+    absorb_record, model_error_ratio, CampaignResult, GoldenRun, OutcomeCounts, QuarantinedRun,
+};
+use crate::error::TeiError;
+use crate::journal::{CampaignManifest, Journal, RunRecord};
+use crate::models::InjectionModel;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Everything a journal scan produced.
+#[derive(Debug, Default)]
+pub struct MergedJournals {
+    /// One record per completed run, keyed (and ordered) by run index.
+    pub records: BTreeMap<u64, RunRecord>,
+    /// The journal files that contributed.
+    pub scanned: Vec<PathBuf>,
+    /// Identical cross-journal duplicates dropped (reassigned leases).
+    pub duplicates: u64,
+}
+
+impl MergedJournals {
+    /// Run indices still missing from `0..runs`.
+    pub fn missing(&self, runs: u64) -> Vec<u64> {
+        (0..runs)
+            .filter(|r| !self.records.contains_key(r))
+            .collect()
+    }
+
+    /// Fold the records into the final tally, ascending run order.
+    pub fn fold(&self) -> (OutcomeCounts, Vec<QuarantinedRun>) {
+        let mut counts = OutcomeCounts::default();
+        let mut quarantined = Vec::new();
+        for rec in self.records.values() {
+            absorb_record(&mut counts, &mut quarantined, rec);
+        }
+        (counts, quarantined)
+    }
+}
+
+/// Every journal file of this campaign under `dir`: the single-process
+/// journal (if any) plus every per-worker journal, in deterministic
+/// (sorted) order. A missing directory is an empty campaign, not an
+/// error.
+///
+/// # Errors
+///
+/// [`TeiError::Io`] when the directory exists but cannot be listed.
+pub fn journal_paths(dir: &Path, manifest: &CampaignManifest) -> Result<Vec<PathBuf>, TeiError> {
+    let base = manifest.file_name();
+    // "<slug>-<hash>" + ".w<idx>.tei-journal"
+    let worker_prefix = format!(
+        "{}.w",
+        base.strip_suffix(".tei-journal").unwrap_or(base.as_str())
+    );
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(TeiError::io("list journal dir", dir, e)),
+    };
+    let mut paths = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| TeiError::io("list journal dir", dir, e))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_worker = name.starts_with(&worker_prefix)
+            && name.ends_with(".tei-journal")
+            && name[worker_prefix.len()..name.len() - ".tei-journal".len()]
+                .chars()
+                .all(|c| c.is_ascii_digit());
+        if name == base || is_worker {
+            paths.push(entry.path());
+        }
+    }
+    paths.sort();
+    Ok(paths)
+}
+
+/// Scan every journal of the campaign under `dir` read-only and merge
+/// their records. Torn tails are tolerated (the records before them
+/// count); foreign manifests are refused; conflicting records for the
+/// same run are corruption.
+///
+/// # Errors
+///
+/// [`TeiError::Io`] / [`TeiError::JournalCorrupt`] /
+/// [`TeiError::ManifestMismatch`] from the per-journal replay, and
+/// [`TeiError::Fabric`] for cross-journal record conflicts or
+/// out-of-range runs.
+pub fn scan_journals(dir: &Path, manifest: &CampaignManifest) -> Result<MergedJournals, TeiError> {
+    let mut merged = MergedJournals::default();
+    for path in journal_paths(dir, manifest)? {
+        let records = Journal::replay_readonly(&path, manifest)?;
+        for rec in records {
+            if rec.run >= manifest.runs {
+                return Err(TeiError::Fabric {
+                    detail: format!(
+                        "journal {} holds run {} beyond the campaign's {} runs",
+                        path.display(),
+                        rec.run,
+                        manifest.runs
+                    ),
+                });
+            }
+            match merged.records.get(&rec.run) {
+                None => {
+                    merged.records.insert(rec.run, rec);
+                }
+                Some(prev) if *prev == rec => merged.duplicates += 1,
+                Some(prev) => {
+                    return Err(TeiError::Fabric {
+                        detail: format!(
+                            "conflicting records for run {} (journal {}): {:?} vs {:?} — \
+                             same-manifest runs are deterministic, so this is corruption",
+                            rec.run,
+                            path.display(),
+                            prev.outcome,
+                            rec.outcome
+                        ),
+                    })
+                }
+            }
+        }
+        merged.scanned.push(path);
+    }
+    Ok(merged)
+}
+
+/// Merge a completed campaign's journals into its final
+/// [`CampaignResult`], refusing incomplete coverage.
+///
+/// # Errors
+///
+/// Everything [`scan_journals`] surfaces, plus [`TeiError::Fabric`]
+/// when runs are missing (the campaign is not actually finished).
+pub fn merged_result<M: InjectionModel + ?Sized>(
+    benchmark_name: &str,
+    golden: &GoldenRun,
+    model: &M,
+    manifest: &CampaignManifest,
+    dir: &Path,
+) -> Result<CampaignResult, TeiError> {
+    let merged = scan_journals(dir, manifest)?;
+    let missing = merged.missing(manifest.runs);
+    if !missing.is_empty() {
+        return Err(TeiError::Fabric {
+            detail: format!(
+                "merge refused: {} of {} runs missing from the journals (first: {})",
+                missing.len(),
+                manifest.runs,
+                missing[0]
+            ),
+        });
+    }
+    let (counts, quarantined) = merged.fold();
+    Ok(CampaignResult {
+        benchmark: benchmark_name.to_string(),
+        model: model.name().to_string(),
+        vr: model.vr(),
+        counts,
+        error_ratio: model_error_ratio(model, golden),
+        quarantined,
+    })
+}

@@ -1,0 +1,292 @@
+//! The fabric's wire protocol: length-prefixed, FNV-checksummed frames
+//! carrying JSON-encoded messages, over any byte stream (localhost TCP
+//! here; the framing is transport-agnostic).
+//!
+//! ```text
+//! frame := len:u32le payload:[u8; len] fnv64(payload):u64le
+//! ```
+//!
+//! This is deliberately the same frame shape as the journal's on-disk
+//! records — one framing discipline, two substrates. No external
+//! protocol dependency is involved: frames are hand-rolled over
+//! `std::net`, and payloads use the already-vendored `serde_json`.
+
+use crate::error::TeiError;
+use crate::fabric::CampaignSpec;
+use crate::journal::fnv64;
+use serde::{Deserialize, Serialize};
+use std::io::{ErrorKind, Read, Write};
+
+/// Largest accepted frame payload; a bigger length prefix is a corrupt
+/// or hostile frame, not a real message.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Every message the fabric exchanges. One flat enum keeps the protocol
+/// auditable in a single place; direction is documented per variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Worker → coordinator: first message on a worker connection. The
+    /// token must match the one the coordinator minted for this fleet.
+    Hello {
+        /// Spawn token (anti-cross-talk for stray local connections).
+        token: u64,
+        /// Worker index (stable across the fleet; names the journal).
+        worker: u32,
+    },
+    /// Coordinator → worker: establish a campaign context. The worker
+    /// resolves the spec independently and answers with [`Message::Ready`].
+    Launch {
+        /// Coordinator-assigned campaign id.
+        campaign: u64,
+        /// The campaign to prepare for.
+        spec: CampaignSpec,
+    },
+    /// Worker → coordinator: context built; `manifest_hash` is the
+    /// worker's own derivation, cross-checked against the coordinator's
+    /// to refuse binary/netlist drift between processes.
+    Ready {
+        /// Campaign id from [`Message::Launch`].
+        campaign: u64,
+        /// Hash of the worker's independently derived manifest.
+        manifest_hash: u64,
+    },
+    /// Coordinator → worker: execute runs `[lo, hi)` of the campaign.
+    Grant {
+        /// Campaign id.
+        campaign: u64,
+        /// Lease id (echoed back in [`Message::LeaseDone`]).
+        lease: u64,
+        /// First run index of the lease.
+        lo: u64,
+        /// One past the last run index.
+        hi: u64,
+    },
+    /// Worker → coordinator: the leased range is durably journaled.
+    LeaseDone {
+        /// Campaign id.
+        campaign: u64,
+        /// Lease id.
+        lease: u64,
+        /// Runs newly executed under this lease.
+        completed: u64,
+    },
+    /// Worker → coordinator: a lease failed in a way the worker could
+    /// type (config drift, journal refusal). The coordinator treats the
+    /// worker as poisoned and reassigns its leases.
+    WorkerError {
+        /// What failed.
+        detail: String,
+    },
+    /// Coordinator → worker: drop the per-campaign context (journal
+    /// handle, skip set); the campaign is merged and finished.
+    Retire {
+        /// Campaign id.
+        campaign: u64,
+    },
+    /// Coordinator → worker: exit cleanly.
+    Shutdown,
+    /// Client → server: queue a campaign.
+    Submit {
+        /// The campaign to run.
+        spec: CampaignSpec,
+    },
+    /// Server → client: the campaign is queued under this id.
+    Accepted {
+        /// Server-assigned campaign id.
+        campaign: u64,
+    },
+    /// Server → client: the submission was rejected.
+    Refused {
+        /// Why.
+        detail: String,
+    },
+    /// Server → client: progress stream (sent after every lease).
+    Progress {
+        /// Campaign id.
+        campaign: u64,
+        /// Runs durably recorded so far.
+        completed: u64,
+        /// Total runs requested.
+        total: u64,
+    },
+    /// Server → client: the campaign finished; `result` is the
+    /// serialized [`CampaignResult`](crate::campaign::CampaignResult).
+    Finished {
+        /// Campaign id.
+        campaign: u64,
+        /// `serde_json`-encoded campaign result.
+        result: String,
+    },
+}
+
+/// Write one frame. The caller flushes (TCP streams are unbuffered
+/// here, so a frame is pushed immediately).
+///
+/// # Errors
+///
+/// Any transport write failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut buf = Vec::with_capacity(payload.len() + 12);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&fnv64(payload).to_le_bytes());
+    w.write_all(&buf)
+}
+
+/// Read one frame. `Ok(None)` when the peer closed the stream (at a
+/// frame boundary or mid-frame — a dead peer is a dead peer); a
+/// checksum mismatch or oversized length is an `InvalidData` error.
+///
+/// # Errors
+///
+/// Transport read failures, or `InvalidData` for corrupt frames.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    let mut sum = [0u8; 8];
+    match r
+        .read_exact(&mut payload)
+        .and_then(|()| r.read_exact(&mut sum))
+    {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    if fnv64(&payload) != u64::from_le_bytes(sum) {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    Ok(Some(payload))
+}
+
+/// Send one message as a JSON-encoded frame.
+///
+/// # Errors
+///
+/// [`TeiError::Fabric`] on transport failure.
+pub fn send(w: &mut impl Write, peer: &str, msg: &Message) -> Result<(), TeiError> {
+    let payload = serde_json::to_string(msg).map_err(|e| TeiError::Fabric {
+        detail: format!("encode message for {peer}: {e}"),
+    })?;
+    write_frame(w, payload.as_bytes()).map_err(|e| TeiError::Fabric {
+        detail: format!("send to {peer}: {e}"),
+    })
+}
+
+/// Receive one message. `Ok(None)` when the peer closed the stream.
+///
+/// # Errors
+///
+/// [`TeiError::Protocol`] for corrupt frames or undecodable messages,
+/// [`TeiError::Fabric`] for transport failures.
+pub fn recv(r: &mut impl Read, peer: &str) -> Result<Option<Message>, TeiError> {
+    let frame = match read_frame(r) {
+        Ok(f) => f,
+        Err(e) if e.kind() == ErrorKind::InvalidData => {
+            return Err(TeiError::Protocol {
+                peer: peer.to_string(),
+                detail: e.to_string(),
+            })
+        }
+        Err(e) => {
+            return Err(TeiError::Fabric {
+                detail: format!("receive from {peer}: {e}"),
+            })
+        }
+    };
+    match frame {
+        None => Ok(None),
+        Some(payload) => std::str::from_utf8(&payload)
+            .map_err(|e| TeiError::Protocol {
+                peer: peer.to_string(),
+                detail: format!("non-UTF-8 message payload: {e}"),
+            })
+            .and_then(|text| {
+                serde_json::from_str(text).map_err(|e| TeiError::Protocol {
+                    peer: peer.to_string(),
+                    detail: format!("undecodable message: {e}"),
+                })
+            })
+            .map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Tests should panic loudly, not thread errors.
+    #![allow(clippy::disallowed_methods)]
+
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+        // A torn tail reads as peer-closed, like a killed worker's socket.
+        let mut torn = &buf[..buf.len() - 3];
+        assert_eq!(
+            read_frame(&mut torn).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(read_frame(&mut torn).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x40;
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let msgs = [
+            Message::Hello {
+                token: 7,
+                worker: 2,
+            },
+            Message::Grant {
+                campaign: 1,
+                lease: 3,
+                lo: 100,
+                hi: 250,
+            },
+            Message::Submit {
+                spec: CampaignSpec::new("sobel"),
+            },
+            Message::Shutdown,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            send(&mut buf, "test", m).unwrap();
+        }
+        let mut r = &buf[..];
+        for m in &msgs {
+            assert_eq!(recv(&mut r, "test").unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(recv(&mut r, "test").unwrap(), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! The fabric worker process body.
+//!
+//! A worker connects to its coordinator, introduces itself with the
+//! spawn token, and then executes whatever leases it is granted,
+//! appending every completed run to its own per-worker journal before
+//! acknowledging the lease. Campaign contexts (golden run, checkpoint
+//! pool, model, journal handle) are cached per campaign, and golden
+//! runs are additionally cached per `(benchmark, scale)` so a `tei
+//! serve` fleet keeps its checkpoints warm across queued campaigns.
+
+use crate::campaign::{execute_lease, CampaignConfig, GoldenRun};
+use crate::error::TeiError;
+use crate::fabric::wire::{self, Message};
+use crate::fabric::CampaignSpec;
+use crate::journal::{CampaignManifest, Journal};
+use crate::models::DaModel;
+use std::collections::{HashMap, HashSet};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use tei_workloads::build;
+
+/// One prepared campaign context.
+struct WorkerJob {
+    golden: Arc<GoldenRun>,
+    model: DaModel,
+    cfg: CampaignConfig,
+    journal: Mutex<Journal>,
+    /// Runs already in *this worker's* journal (its own resume skip
+    /// set; cross-worker duplicates are the merge's business).
+    done: HashSet<u64>,
+}
+
+/// Run the worker loop until the coordinator says shutdown or the
+/// socket closes. `index` names this worker's journal files; `token`
+/// must match the coordinator's spawn token.
+///
+/// # Errors
+///
+/// [`TeiError::Fabric`] / [`TeiError::Protocol`] on connection or
+/// protocol failures, plus anything campaign execution surfaces.
+pub fn worker_main(addr: &str, token: u64, index: u32, journal_dir: &Path) -> Result<(), TeiError> {
+    let stream = TcpStream::connect(addr).map_err(|e| TeiError::Fabric {
+        detail: format!("worker {index}: connect to coordinator {addr}: {e}"),
+    })?;
+    stream.set_nodelay(true).ok();
+    let mut reader = stream.try_clone().map_err(|e| TeiError::Fabric {
+        detail: format!("worker {index}: clone stream: {e}"),
+    })?;
+    let mut writer = stream;
+    let peer = format!("coordinator {addr}");
+    wire::send(
+        &mut writer,
+        &peer,
+        &Message::Hello {
+            token,
+            worker: index,
+        },
+    )?;
+
+    let mut jobs: HashMap<u64, WorkerJob> = HashMap::new();
+    let mut golden_cache: HashMap<(String, String), Arc<GoldenRun>> = HashMap::new();
+
+    loop {
+        let msg = match wire::recv(&mut reader, &peer)? {
+            Some(m) => m,
+            // Coordinator gone: nothing to clean up — journals are
+            // fsync'd per append, so everything durable is on disk.
+            None => return Ok(()),
+        };
+        match msg {
+            Message::Launch { campaign, spec } => {
+                match prepare(&spec, index, journal_dir, &mut golden_cache) {
+                    Ok((job, manifest_hash)) => {
+                        jobs.insert(campaign, job);
+                        wire::send(
+                            &mut writer,
+                            &peer,
+                            &Message::Ready {
+                                campaign,
+                                manifest_hash,
+                            },
+                        )?;
+                    }
+                    Err(e) => {
+                        wire::send(
+                            &mut writer,
+                            &peer,
+                            &Message::WorkerError {
+                                detail: format!("worker {index}: launch failed: {e}"),
+                            },
+                        )?;
+                    }
+                }
+            }
+            Message::Grant {
+                campaign,
+                lease,
+                lo,
+                hi,
+            } => {
+                let Some(job) = jobs.get_mut(&campaign) else {
+                    wire::send(
+                        &mut writer,
+                        &peer,
+                        &Message::WorkerError {
+                            detail: format!(
+                                "worker {index}: grant for unknown campaign {campaign}"
+                            ),
+                        },
+                    )?;
+                    continue;
+                };
+                let outcome = execute_lease(
+                    &job.golden,
+                    &job.model,
+                    &job.cfg,
+                    lo,
+                    hi,
+                    &job.done,
+                    &job.journal,
+                )?;
+                if outcome.interrupted {
+                    // A shutdown signal reached this worker; everything
+                    // completed is journaled. Exit and let the
+                    // coordinator reassign the remainder.
+                    return Err(TeiError::Interrupted {
+                        completed: job.done.len() as u64,
+                        requested: job.cfg.runs as u64,
+                    });
+                }
+                job.done.extend(lo..hi);
+                wire::send(
+                    &mut writer,
+                    &peer,
+                    &Message::LeaseDone {
+                        campaign,
+                        lease,
+                        completed: hi - lo,
+                    },
+                )?;
+            }
+            Message::Retire { campaign } => {
+                jobs.remove(&campaign);
+            }
+            Message::Shutdown => return Ok(()),
+            other => {
+                return Err(TeiError::Protocol {
+                    peer,
+                    detail: format!("unexpected message for a worker: {other:?}"),
+                })
+            }
+        }
+    }
+}
+
+/// Build one campaign context: resolve the spec (golden from cache when
+/// the `(benchmark, scale)` pair is warm), open this worker's journal,
+/// and replay its own completed runs.
+fn prepare(
+    spec: &CampaignSpec,
+    index: u32,
+    journal_dir: &Path,
+    golden_cache: &mut HashMap<(String, String), Arc<GoldenRun>>,
+) -> Result<(WorkerJob, u64), TeiError> {
+    let parsed = spec.parse()?;
+    let bench = build(parsed.id, parsed.scale);
+    let golden = match golden_cache.get(&spec.golden_key()) {
+        Some(g) => Arc::clone(g),
+        None => {
+            let g = Arc::new(GoldenRun::capture(
+                &bench,
+                crate::fabric::GOLDEN_MEM_BYTES,
+                u64::MAX,
+            )?);
+            golden_cache.insert(spec.golden_key(), Arc::clone(&g));
+            g
+        }
+    };
+    let resolved = spec.resolve_with_golden(parsed, bench, Arc::clone(&golden));
+    let manifest = resolved.manifest();
+    let path = journal_path(journal_dir, &manifest, index);
+    std::fs::create_dir_all(journal_dir)
+        .map_err(|e| TeiError::io("create journal dir", journal_dir, e))?;
+    let resume = Journal::open_or_create_at(&path, &manifest)?;
+    if resume.truncated_bytes > 0 {
+        eprintln!(
+            "[worker {index}] recovered {}: dropped {} torn byte(s)",
+            path.display(),
+            resume.truncated_bytes
+        );
+    }
+    let done: HashSet<u64> = resume.completed.iter().map(|r| r.run).collect();
+    let manifest_hash = manifest.hash();
+    Ok((
+        WorkerJob {
+            golden,
+            model: resolved.model,
+            cfg: resolved.cfg,
+            journal: Mutex::new(resume.journal),
+            done,
+        },
+        manifest_hash,
+    ))
+}
+
+/// This worker's journal path for a campaign.
+pub fn journal_path(dir: &Path, manifest: &CampaignManifest, index: u32) -> PathBuf {
+    dir.join(manifest.worker_file_name(index))
+}

@@ -212,11 +212,31 @@ impl CampaignManifest {
 
     /// Stable journal file name for this cell.
     pub fn file_name(&self) -> String {
+        format!("{}.tei-journal", self.stem())
+    }
+
+    /// Per-worker journal file name used by the campaign fabric: worker
+    /// `idx` appends only to `<slug>-<hash>.w<idx>.tei-journal`, so
+    /// concurrent workers never contend on one file and a crashed
+    /// worker's partial journal stays attributable.
+    pub fn worker_file_name(&self, idx: u32) -> String {
+        format!("{}.w{idx}.tei-journal", self.stem())
+    }
+
+    /// Lease-table file name the fabric coordinator persists next to the
+    /// journals (same manifest-hash key, so a foreign table is refused).
+    pub fn lease_file_name(&self) -> String {
+        format!("{}.leases.json", self.stem())
+    }
+
+    /// `<slug>-<hash>` stem shared by the journal, per-worker journal,
+    /// and lease-table file names.
+    fn stem(&self) -> String {
         let slug: String = format!("{}-{}-{}", self.benchmark, self.model, self.vr)
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
             .collect();
-        format!("{slug}-{:016x}.tei-journal", self.hash())
+        format!("{slug}-{:016x}", self.hash())
     }
 }
 
@@ -379,44 +399,60 @@ impl Journal {
         manifest: &CampaignManifest,
     ) -> Result<JournalResume, TeiError> {
         std::fs::create_dir_all(dir).map_err(|e| TeiError::io("create journal dir", dir, e))?;
-        let path = dir.join(manifest.file_name());
+        Self::open_or_create_at(&dir.join(manifest.file_name()), manifest)
+    }
+
+    /// [`Journal::open_or_create`] at an explicit file path instead of the
+    /// manifest-derived name — the fabric uses this to give each worker
+    /// its own journal ([`CampaignManifest::worker_file_name`]) under the
+    /// same manifest identity.
+    ///
+    /// # Errors
+    ///
+    /// See [`Journal::open_or_create`].
+    pub fn open_or_create_at(
+        path: &Path,
+        manifest: &CampaignManifest,
+    ) -> Result<JournalResume, TeiError> {
         if path.exists() {
-            Self::resume(&path, manifest)
+            Self::resume(path, manifest)
         } else {
-            Self::create(&path, manifest)
+            Self::create(path, manifest)
         }
     }
 
-    fn create(path: &Path, manifest: &CampaignManifest) -> Result<JournalResume, TeiError> {
-        // Header goes through the atomic helper so a crash during
-        // creation never leaves a half-written magic for a later resume
-        // to stumble over.
-        let mut header = Vec::new();
-        header.extend_from_slice(MAGIC);
-        let mut payload = vec![TAG_MANIFEST];
-        payload.extend_from_slice(&manifest.canonical_bytes());
-        header.extend_from_slice(&frame(&payload));
-        atomic_write(path, &header)?;
-        let file = OpenOptions::new()
-            .append(true)
-            .open(path)
-            .map_err(|e| TeiError::io("open journal for append", path, e))?;
-        Ok(JournalResume {
-            journal: Journal {
-                file,
-                path: path.to_path_buf(),
-                appended: 0,
-            },
-            completed: Vec::new(),
-            truncated_bytes: 0,
-        })
-    }
-
-    fn resume(path: &Path, manifest: &CampaignManifest) -> Result<JournalResume, TeiError> {
+    /// Read-only replay of a journal file: validate the magic and
+    /// manifest, return every good record, and stop at (without
+    /// truncating) a torn or corrupt tail. The file is never opened for
+    /// writing, so the fabric's merge can scan the journals of workers
+    /// that are still alive.
+    ///
+    /// # Errors
+    ///
+    /// [`TeiError::Io`] when the file cannot be read,
+    /// [`TeiError::JournalCorrupt`] when the header is unreadable, and
+    /// [`TeiError::ManifestMismatch`] for a foreign journal.
+    pub fn replay_readonly(
+        path: &Path,
+        manifest: &CampaignManifest,
+    ) -> Result<Vec<RunRecord>, TeiError> {
         let mut bytes = Vec::new();
         File::open(path)
             .and_then(|mut f| f.read_to_end(&mut bytes))
             .map_err(|e| TeiError::io("read journal", path, e))?;
+        let (completed, _) = Self::decode_records(&bytes, path, manifest)?;
+        Ok(completed)
+    }
+
+    /// Shared record decoder of [`Journal::resume`] and
+    /// [`Journal::replay_readonly`]: validate magic + manifest, collect
+    /// good records, and return the byte offset of the first bad frame
+    /// (the torn-tail boundary).
+    fn decode_records(
+        bytes: &[u8],
+        path: &Path,
+        manifest: &CampaignManifest,
+    ) -> Result<(Vec<RunRecord>, usize), TeiError> {
         let corrupt = |reason: &str| TeiError::JournalCorrupt {
             path: path.to_path_buf(),
             reason: reason.into(),
@@ -426,8 +462,8 @@ impl Journal {
         }
         let mut off = MAGIC.len();
 
-        // Frame reader: Ok(Some((payload, next_off))), Ok(None) on a torn
-        // or corrupt frame (recoverable tail), Err never.
+        // Frame reader: Some((payload, next_off)), None on a torn or
+        // corrupt frame (recoverable tail).
         let read_frame = |off: usize| -> Option<(&[u8], usize)> {
             let len_end = off.checked_add(4)?;
             if len_end > bytes.len() {
@@ -473,6 +509,40 @@ impl Journal {
             }
             off = next;
         }
+        Ok((completed, off))
+    }
+
+    fn create(path: &Path, manifest: &CampaignManifest) -> Result<JournalResume, TeiError> {
+        // Header goes through the atomic helper so a crash during
+        // creation never leaves a half-written magic for a later resume
+        // to stumble over.
+        let mut header = Vec::new();
+        header.extend_from_slice(MAGIC);
+        let mut payload = vec![TAG_MANIFEST];
+        payload.extend_from_slice(&manifest.canonical_bytes());
+        header.extend_from_slice(&frame(&payload));
+        atomic_write(path, &header)?;
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| TeiError::io("open journal for append", path, e))?;
+        Ok(JournalResume {
+            journal: Journal {
+                file,
+                path: path.to_path_buf(),
+                appended: 0,
+            },
+            completed: Vec::new(),
+            truncated_bytes: 0,
+        })
+    }
+
+    fn resume(path: &Path, manifest: &CampaignManifest) -> Result<JournalResume, TeiError> {
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| TeiError::io("read journal", path, e))?;
+        let (completed, off) = Self::decode_records(&bytes, path, manifest)?;
         let truncated_bytes = (bytes.len() - off) as u64;
         drop(bytes);
 

@@ -21,6 +21,10 @@
 //!   with quarantine + retry, typed orchestration errors, and
 //!   signal-drained shutdown, so multi-hour sweeps survive crashes,
 //!   poisoned runs, and ctrl-C without losing completed work.
+//! * **Campaign fabric** ([`fabric`]) — lease-partitioned multi-process
+//!   campaigns over the journal layer (coordinator + worker fleet over a
+//!   localhost framed socket, with a resident `tei serve` front end);
+//!   the merged result is byte-identical to the single-process run.
 //!
 //! ## Example
 //!
@@ -52,6 +56,7 @@ pub mod campaign;
 pub mod config;
 pub mod dev;
 pub mod error;
+pub mod fabric;
 pub mod journal;
 pub mod models;
 pub mod power;
@@ -61,7 +66,10 @@ pub mod stats;
 pub use campaign::{
     CampaignConfig, CampaignResult, GoldenRun, Outcome, OutcomeCounts, QuarantinedRun, ReplayMode,
 };
-pub use dev::{DaCalibration, DtaTuning, KernelBackend, OpErrorStats, TraceSet};
+pub use dev::{
+    DaCalibration, DtaTuning, KernelBackend, OpErrorStats, PruneDecision, PrunePolicy, TraceSet,
+};
 pub use error::TeiError;
+pub use fabric::{run_fabric_campaign, serve, CampaignSpec, FabricConfig, FabricEvent};
 pub use journal::{atomic_write, atomic_write_checksummed, fnv64, CampaignManifest, Journal};
 pub use models::{DaModel, InjectionModel, MaskSampling, ModelKind, StatModel};

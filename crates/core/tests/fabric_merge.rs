@@ -1,0 +1,213 @@
+//! Fabric merge determinism: K per-worker journals produced under
+//! random lease splits, random worker assignment, re-executed
+//! (duplicated) leases, and torn-tail crashes must merge into a
+//! `CampaignResult` byte-identical to the single-process durable run —
+//! quarantine records included. This is the property the whole fabric
+//! rests on (see DESIGN.md, "Campaign fabric": the determinism
+//! argument).
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+use tei_core::campaign::{self, execute_lease, GoldenRun};
+use tei_core::fabric::{merged_result, scan_journals};
+use tei_core::journal::{CampaignManifest, Journal};
+use tei_core::DaModel;
+use tei_timing::VoltageReduction;
+use tei_workloads::{build, BenchmarkId, Scale};
+
+const MEM: usize = 8 << 20;
+const RUNS: usize = 48;
+
+fn golden() -> &'static GoldenRun {
+    static GOLDEN: OnceLock<GoldenRun> = OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let bench = build(BenchmarkId::Sobel, Scale::Test);
+        GoldenRun::capture(&bench, MEM, u64::MAX).expect("golden run")
+    })
+}
+
+fn model() -> DaModel {
+    DaModel::from_fixed(VoltageReduction::VR20, 1e-2)
+}
+
+/// Campaign sizing shared by the reference and every worker. Two
+/// poisoned runs, so quarantine records cross the merge too.
+fn cfg() -> campaign::CampaignConfig {
+    let mut c = campaign::CampaignConfig {
+        runs: RUNS,
+        seed: 7,
+        threads: 2,
+        ..Default::default()
+    };
+    c.chaos.panic_always = vec![3, 17];
+    c
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("tei-fabric-merge-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// The single-process ground truth, serialized once for the whole
+/// binary (golden capture + 48 runs are the expensive part).
+fn reference_json() -> &'static str {
+    static REF: OnceLock<String> = OnceLock::new();
+    REF.get_or_init(|| {
+        let dir = scratch_dir("ref");
+        let fresh = campaign::run_campaign_durable("sobel", golden(), &model(), &cfg(), &dir)
+            .expect("reference campaign");
+        // Replay the finished journal: every statistic is identical, and
+        // the free-text quarantine message normalizes to the journal's
+        // "replayed" diagnostic — the form any journal-derived result
+        // (single-process resume or fabric merge alike) reports, since
+        // panic payloads are diagnostics, not part of the record.
+        let replayed = campaign::run_campaign_durable("sobel", golden(), &model(), &cfg(), &dir)
+            .expect("replayed reference");
+        assert_eq!(
+            serde_json::to_string(&fresh.counts).expect("serialize fresh counts"),
+            serde_json::to_string(&replayed.counts).expect("serialize replayed counts"),
+            "journal replay changed the tally"
+        );
+        assert_eq!(fresh.quarantined.len(), replayed.quarantined.len());
+        std::fs::remove_dir_all(&dir).ok();
+        serde_json::to_string(&replayed).expect("serialize reference")
+    })
+}
+
+/// Execute runs `[lo, hi)` into worker `widx`'s own journal, exactly the
+/// way [`tei_core::fabric::worker_main`] does: resume the journal, skip
+/// what it already holds, append the rest.
+fn execute_into(dir: &Path, manifest: &CampaignManifest, widx: u32, lo: u64, hi: u64) {
+    let path = dir.join(manifest.worker_file_name(widx));
+    let resume = Journal::open_or_create_at(&path, manifest).expect("open worker journal");
+    let done: HashSet<u64> = resume.completed.iter().map(|r| r.run).collect();
+    let journal = Mutex::new(resume.journal);
+    let out =
+        execute_lease(golden(), &model(), &cfg(), lo, hi, &done, &journal).expect("execute lease");
+    assert!(!out.interrupted, "no signal expected in-process");
+}
+
+/// SIGKILL-mid-append simulation: chop `bytes` off a journal's tail,
+/// but never into the magic + manifest header (a torn header is a
+/// different failure class — creation is atomic, so it cannot happen).
+fn tear_tail(path: &Path, header_len: u64, bytes: u64) {
+    let len = std::fs::metadata(path).expect("journal metadata").len();
+    let keep = len.saturating_sub(bytes).max(header_len);
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .expect("open journal for tearing");
+    f.set_len(keep).expect("tear tail");
+}
+
+/// Group sorted run indices into maximal contiguous `[lo, hi)` ranges.
+fn contiguous(missing: &[u64]) -> Vec<(u64, u64)> {
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for &r in missing {
+        match ranges.last_mut() {
+            Some((_, hi)) if *hi == r => *hi += 1,
+            _ => ranges.push((r, r + 1)),
+        }
+    }
+    ranges
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The acceptance property: for K ∈ {1, 2, 4, 8} workers, any lease
+    /// split, any assignment, one reassigned (duplicated) lease, and a
+    /// torn journal tail with resume, the merged result is byte-identical
+    /// to the single-process campaign. (The vendored proptest shim has no
+    /// collection/sample strategies, so split and schedule derive from
+    /// plain seeds via xorshift — still a pure function of the inputs.)
+    #[test]
+    fn k_worker_journals_merge_byte_identical(
+        k in prop_oneof![Just(1u32), Just(2u32), Just(4u32), Just(8u32)],
+        ncuts in 0usize..8,
+        assign_seed in any::<u64>(),
+        // 0 means "no crash this case".
+        tear in prop_oneof![Just(0u64), 20u64..200],
+    ) {
+        let dir = scratch_dir("case");
+        let manifest = campaign::campaign_manifest("sobel", golden(), &model(), &cfg());
+        // Header length, measured on a throwaway file the merge's name
+        // filter ignores — bounds how deep a tear may cut.
+        let probe = dir.join("header-probe");
+        drop(Journal::open_or_create_at(&probe, &manifest).expect("probe journal"));
+        let header_len = std::fs::metadata(&probe).expect("probe metadata").len();
+
+        let mut state = assign_seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        // Random lease split of the run-index space.
+        let mut bounds: Vec<u64> = (0..ncuts).map(|_| 1 + next() % (RUNS as u64 - 1)).collect();
+        bounds.push(0);
+        bounds.push(RUNS as u64);
+        bounds.sort_unstable();
+        bounds.dedup();
+        let leases: Vec<(u64, u64)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        let owners: Vec<u32> = leases.iter().map(|_| (next() % u64::from(k)) as u32).collect();
+        for (&(lo, hi), &w) in leases.iter().zip(&owners) {
+            execute_into(&dir, &manifest, w, lo, hi);
+        }
+
+        // A reassigned lease: a second worker re-executes a range the
+        // owner already journaled (the owner was presumed dead but its
+        // journal survived). Records are byte-identical, so the merge
+        // must deduplicate, never double-count.
+        if k > 1 {
+            let i = (next() % leases.len() as u64) as usize;
+            let (lo, hi) = leases[i];
+            let other = (owners[i] + 1) % k;
+            execute_into(&dir, &manifest, other, lo, hi);
+            let merged = scan_journals(&dir, &manifest).expect("scan with duplicates");
+            prop_assert_eq!(merged.duplicates, hi - lo, "one duplicate per re-executed run");
+        }
+
+        // Crash mid-append: tear bytes off one worker's journal tail,
+        // then resume by granting the now-missing runs to a fresh worker.
+        if tear > 0 {
+            tear_tail(&dir.join(manifest.worker_file_name(owners[0])), header_len, tear);
+        }
+        let merged = scan_journals(&dir, &manifest).expect("scan after tear");
+        for (lo, hi) in contiguous(&merged.missing(RUNS as u64)) {
+            execute_into(&dir, &manifest, k, lo, hi);
+        }
+
+        let result = merged_result("sobel", golden(), &model(), &manifest, &dir).expect("merge");
+        prop_assert_eq!(
+            serde_json::to_string(&result).expect("serialize merged"),
+            reference_json(),
+            "k={} leases={:?} diverged from the single-process campaign", k, leases
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// An incomplete campaign must be refused by the merge, not averaged.
+#[test]
+fn merge_refuses_missing_runs() {
+    let dir = scratch_dir("incomplete");
+    let manifest = campaign::campaign_manifest("sobel", golden(), &model(), &cfg());
+    execute_into(&dir, &manifest, 0, 0, 10);
+    let err = merged_result("sobel", golden(), &model(), &manifest, &dir)
+        .expect_err("merge of 10/48 runs must fail");
+    assert!(
+        err.to_string().contains("missing"),
+        "error should name the gap: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use tei_core::dev::{
     dta_campaign_sampled_tuned, dta_campaign_sampled_with_threads, dta_campaign_tuned,
     dta_campaign_with_threads, random_operand_pairs, safe_bit_counts, DtaTuning, KernelBackend,
-    OpErrorStats,
+    OpErrorStats, PrunePolicy,
 };
 use tei_fpu::{FpuTimingSpec, FpuUnit};
 use tei_softfloat::{FpOp, FpOpKind, Precision};
@@ -117,7 +117,7 @@ fn lane_widths_match_arrival_sim_byte_for_byte() {
         for backend in [KernelBackend::Interpreter, KernelBackend::Generated] {
             for lanes in [1usize, 4, 8] {
                 for threads in [1usize, 3] {
-                    for prune_safe_bits in [true, false] {
+                    for prune in [PrunePolicy::ForceOn, PrunePolicy::ForceOff] {
                         let got = dta_campaign_tuned(
                             unit,
                             &pairs,
@@ -125,8 +125,8 @@ fn lane_widths_match_arrival_sim_byte_for_byte() {
                             &LEVELS,
                             threads,
                             DtaTuning {
-                                prune_safe_bits,
-                                lanes,
+                                prune,
+                                lanes: Some(lanes),
                                 backend,
                             },
                         )
@@ -135,7 +135,7 @@ fn lane_widths_match_arrival_sim_byte_for_byte() {
                             serde_json::to_string(&got).expect("serialize campaign"),
                             reference,
                             "backend={backend:?} lanes={lanes} threads={threads} \
-                             prune={prune_safe_bits} seed={seed:#x} diverged from ArrivalSim"
+                             prune={prune:?} seed={seed:#x} diverged from ArrivalSim"
                         );
                     }
                 }
@@ -189,8 +189,21 @@ fn parallel_sampled_campaign_equals_serial_byte_for_byte() {
 fn safe_bit_pruning_is_byte_identical_to_full_scan() {
     let (unit, spec) = test_unit();
     let pairs = random_operand_pairs(unit.op(), 403, 0xd7a_cafe);
-    let pruned =
-        dta_campaign_with_threads(unit, &pairs, spec.clk, &LEVELS, 1).expect("pruned campaign");
+    // Force the pruning on: the default `PrunePolicy::Auto` only prunes
+    // past the measured break-even fraction, but this test is about the
+    // *exactness* of the skip, not whether it pays.
+    let pruned = dta_campaign_tuned(
+        unit,
+        &pairs,
+        spec.clk,
+        &LEVELS,
+        1,
+        DtaTuning {
+            prune: PrunePolicy::ForceOn,
+            ..DtaTuning::default()
+        },
+    )
+    .expect("pruned campaign");
     let unpruned = dta_campaign_tuned(
         unit,
         &pairs,
@@ -198,7 +211,7 @@ fn safe_bit_pruning_is_byte_identical_to_full_scan() {
         &LEVELS,
         1,
         DtaTuning {
-            prune_safe_bits: false,
+            prune: PrunePolicy::ForceOff,
             ..DtaTuning::default()
         },
     )
